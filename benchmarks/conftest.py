@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) inside the simulator and asserts the paper's qualitative
+shape claims on the measured rows.  Simulations are deterministic, so
+each benchmark runs one round (``pedantic``): the reported wall time is
+the cost of regenerating that experiment.
+
+Scale: benchmarks map one paper GB to :data:`BENCH_SCALE` simulated
+bytes.  Scheme *ratios* are scale-invariant (all simulated costs are
+linear in bytes); see workloads.datasets for the argument.
+"""
+
+import pytest
+
+from repro.units import KiB
+
+#: Simulated bytes standing in for one paper GB in benchmark runs.
+BENCH_SCALE = 256 * KiB
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    """Run an experiment once under pytest-benchmark and return its report."""
+
+    def run(fn, **kwargs):
+        kwargs.setdefault("scale", BENCH_SCALE)
+        report = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        assert report.all_checks_pass, "\n" + report.to_text()
+        return report
+
+    return run

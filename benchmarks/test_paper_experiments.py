@@ -1,0 +1,92 @@
+"""Benchmarks regenerating every table and figure of the paper.
+
+Each test reruns the corresponding experiment grid in the simulator and
+asserts the paper's qualitative claims (the experiment's shape checks).
+Run ``python -m repro.harness <id>`` for the full-scale version with
+printed rows.
+"""
+
+from repro.harness.experiments import fig10, fig11, fig12, fig13, fig14, table1
+
+
+def test_table1_kernel_descriptions(bench_experiment):
+    """Table I: the three data-analysis kernels and their records."""
+    report = bench_experiment(table1)
+    assert {row["name"] for row in report.rows} == {
+        "flow-routing",
+        "flow-accumulation",
+        "gaussian",
+    }
+
+
+def test_fig10_dependence_impact(bench_experiment):
+    """Fig. 10: NAS vs TS across data sizes — dependence hurts NAS."""
+    report = bench_experiment(fig10)
+    nas_rows = [r for r in report.rows if r["scheme"] == "NAS"]
+    ts_rows = [r for r in report.rows if r["scheme"] == "TS"]
+    assert len(nas_rows) == len(ts_rows) == 12  # 3 kernels x 4 sizes
+
+
+def test_fig11_scheme_comparison(bench_experiment):
+    """Fig. 11: NAS / DAS / TS at 24 GB — DAS wins by the paper margins."""
+    report = bench_experiment(fig11)
+    by_scheme = {}
+    for row in report.rows:
+        by_scheme.setdefault(row["scheme"], []).append(row["time_s"])
+    das = sum(by_scheme["DAS"]) / len(by_scheme["DAS"])
+    ts = sum(by_scheme["TS"]) / len(by_scheme["TS"])
+    nas = sum(by_scheme["NAS"]) / len(by_scheme["NAS"])
+    assert das < 0.75 * ts < ts < nas
+
+
+def test_fig12_data_scaling(bench_experiment):
+    """Fig. 12: time vs data size for all three schemes."""
+    report = bench_experiment(fig12)
+    das60 = [
+        r["time_s"]
+        for r in report.rows
+        if r["scheme"] == "DAS" and r["data_gb"] == 60
+    ]
+    nas60 = [
+        r["time_s"]
+        for r in report.rows
+        if r["scheme"] == "NAS" and r["data_gb"] == 60
+    ]
+    assert max(das60) < min(nas60)
+
+
+def test_fig13_node_scaling(bench_experiment):
+    """Fig. 13: time vs node count for DAS and TS at 60 GB."""
+    report = bench_experiment(fig13)
+    for scheme in ("DAS", "TS"):
+        for kernel in ("flow-routing", "gaussian"):
+            times = [
+                (r["nodes"], r["time_s"])
+                for r in report.rows
+                if r["scheme"] == scheme and r["operator"] == kernel
+            ]
+            times.sort()
+            assert times[-1][1] <= times[0][1]  # more nodes, not slower
+
+
+def test_fig14_normalized_bandwidth(bench_experiment):
+    """Fig. 14: DAS sustains ~2x the TS bandwidth; NAS falls below TS."""
+    report = bench_experiment(fig14)
+    for row in report.rows:
+        if row["scheme"] == "TS":
+            assert row["normalized_vs_TS"] == 1.0
+        elif row["scheme"] == "DAS":
+            assert row["normalized_vs_TS"] > 1.3
+        else:
+            assert row["normalized_vs_TS"] < 1.0
+
+
+def test_ext_oversubscribed_fabric(bench_experiment):
+    """Extension: bisection oversubscription sweep — TS tracks the
+    throttled pipe, pre-distributed DAS does not."""
+    from repro.harness.experiments import ext_oversub
+
+    report = bench_experiment(ext_oversub)
+    das_rows = [r for r in report.rows if r["scheme"] == "DAS"]
+    spread = max(r["time_s"] for r in das_rows) / min(r["time_s"] for r in das_rows)
+    assert spread <= 1.1

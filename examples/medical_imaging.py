@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Medical-imaging workflow: denoise a phantom with median + Gaussian.
+
+The paper's Table I motivates the 2-D Gaussian filter with medical
+image processing; Section I adds the median filter as another
+8-neighbour operation.  This example runs the classic denoising chain —
+median (impulse noise removal) then Gaussian (smoothing) — over a
+salt-and-pepper-corrupted phantom, letting the DAS scheme decide stage
+by stage, and reports how much of the noise the chain removed.
+
+Run:  python examples/medical_imaging.py
+"""
+
+import numpy as np
+
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.schemes import DynamicActiveStorageScheme
+from repro.units import fmt_time
+from repro.workloads import add_salt_pepper, phantom_image
+from repro.harness.platform import ingest_for_scheme
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    clean = phantom_image(768, 1024, noise_sigma=0.0, rng=rng)
+    noisy = add_salt_pepper(clean, fraction=0.02, rng=rng)
+
+    cluster = Cluster.build(n_compute=12, n_storage=12)
+    pfs = ParallelFileSystem(cluster)
+    # Data written through the DAS-aware stack is arranged for the
+    # expected 8-neighbour operations at ingest.
+    ingest_for_scheme(pfs, "DAS", "scan.raw", noisy, "median")
+
+    scheme = DynamicActiveStorageScheme(pfs)
+
+    def chain():
+        first = yield scheme.run_operation(
+            "median", "scan.raw", "scan.median", pipeline_length=2
+        )
+        second = yield scheme.run_operation(
+            "gaussian", "scan.median", "scan.smooth", pipeline_length=1
+        )
+        return first, second
+
+    first, second = cluster.run(until=cluster.env.process(chain()))
+    for res in (first, second):
+        verdict = res.decision.outcome if res.decision else "n/a"
+        print(
+            f"{res.operator:10s} {fmt_time(res.elapsed)}"
+            f"  offloaded={res.offloaded}  decision={verdict}"
+        )
+
+    client = pfs.client("c0")
+    denoised = client.collect("scan.smooth")
+
+    # Functional verification against the sequential chain.
+    med = default_registry.get("median")
+    gau = default_registry.get("gaussian")
+    assert np.array_equal(denoised, gau.reference(med.reference(noisy)))
+
+    def rms(a, b) -> float:
+        return float(np.sqrt(np.mean((a - b) ** 2)))
+
+    before = rms(noisy, clean)
+    after = rms(denoised, gau.reference(med.reference(clean)))
+    print(f"impulse-noise RMS vs clean pipeline: {before:.4f} -> {after:.4f}")
+    assert after < before, "denoising should reduce the error"
+    print("verified: distributed chain == sequential chain; noise reduced")
+
+
+if __name__ == "__main__":
+    main()

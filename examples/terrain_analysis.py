@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Terrain-analysis pipeline: flow-routing followed by flow-accumulation.
+
+This is the paper's motivating scenario (Section I): "the
+flow-accumulation operation always follows the flow-routing operation"
+and both share the 8-neighbour dependence pattern.  The DAS pipeline
+support amortises one layout change across both stages and keeps the
+intermediate direction raster in the replicated distribution, so the
+second stage finds all of its dependent data server-local.
+
+The script contrasts the pipeline under DAS against serving the same
+two operations with plain (NAS-style) active storage, and prints the
+byte movement each one causes.
+
+Run:  python examples/terrain_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import ActiveStorageClient, Pipeline, PipelineStage
+from repro.hw import Cluster
+from repro.kernels import accumulate_full, default_registry
+from repro.metrics import TrafficMeter
+from repro.pfs import ParallelFileSystem
+from repro.schemes import NormalActiveStorageScheme
+from repro.units import fmt_bytes, fmt_time
+from repro.workloads import fractal_dem
+
+
+def fresh_world(seed: int = 11):
+    cluster = Cluster.build(n_compute=12, n_storage=12)
+    pfs = ParallelFileSystem(cluster)
+    dem = fractal_dem(1024, 1024, rng=np.random.default_rng(seed))
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    return cluster, pfs, dem
+
+
+def das_pipeline():
+    cluster, pfs, dem = fresh_world()
+    asc = ActiveStorageClient(pfs, home="c0")
+    pipeline = Pipeline(
+        [
+            PipelineStage("flow-routing", output="dirs"),
+            PipelineStage("flow-accumulation", output="acc"),
+            PipelineStage("gaussian", output="acc.smooth"),
+        ]
+    )
+    meter = TrafficMeter(cluster)
+    results = cluster.run(until=pipeline.submit(asc, "dem"))
+    traffic = meter.delta()
+    total = sum(r.elapsed for r in results)
+    print("DAS pipeline (one redistribution amortised over 3 stages):")
+    for r in results:
+        print(
+            f"  {r.request.operator:18s} {fmt_time(r.elapsed)}"
+            f"  (decision: {r.decision.outcome})"
+        )
+    print(f"  total {fmt_time(total)};"
+          f" server<->server {fmt_bytes(traffic.server_bytes)}")
+    print(f"  steady-state per-op time: {fmt_time(results[-1].elapsed)}")
+    return cluster, pfs, dem, total, traffic
+
+
+def nas_pipeline():
+    cluster, pfs, dem = fresh_world()
+    scheme = NormalActiveStorageScheme(pfs)
+    meter = TrafficMeter(cluster)
+
+    def both():
+        first = yield scheme.run_operation("flow-routing", "dem", "dirs")
+        second = yield scheme.run_operation("flow-accumulation", "dirs", "acc")
+        return first.elapsed + second.elapsed
+
+    total = cluster.run(until=cluster.env.process(both()))
+    traffic = meter.delta()
+    print("NAS pipeline:")
+    print(f"  total {fmt_time(total)};"
+          f" server<->server {fmt_bytes(traffic.server_bytes)}")
+    return total, traffic
+
+
+def main() -> None:
+    cluster, pfs, dem, das_total, das_traffic = das_pipeline()
+    nas_total, nas_traffic = nas_pipeline()
+    print(f"\nDAS speedup over NAS: {nas_total / das_total:.2f}x")
+    print(
+        "dependent-data traffic avoided:"
+        f" {fmt_bytes(nas_traffic.server_bytes - das_traffic.server_bytes)}"
+    )
+
+    # Functional check on the DAS world: stage outputs match the
+    # sequential references, and the one-pass accumulation's inflow
+    # counts are consistent with a full basin accumulation's structure.
+    client = pfs.client("c0")
+    dirs = client.collect("dirs")
+    acc = client.collect("acc")
+    fr = default_registry.get("flow-routing")
+    fa = default_registry.get("flow-accumulation")
+    assert np.array_equal(dirs, fr.reference(dem))
+    assert np.array_equal(acc, fa.reference(dirs))
+    basin = accumulate_full(dirs)
+    # Everywhere the local pass says "no inflow", the basin total is 1.
+    assert np.all(basin[acc == 1.0] == 1.0)
+    print("verified: pipeline outputs match sequential references")
+
+
+if __name__ == "__main__":
+    main()

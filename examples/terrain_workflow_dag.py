@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""A branching terrain-analysis workflow as an operation graph.
+
+One survey DEM feeds four derivative products::
+
+    dem ──> dirs ──> acc ──> acc.smooth
+       └──> slope
+
+Independent branches overlap on the storage servers, the decision
+engine amortises one redistribution over everything downstream, and
+every product is verified against the sequential reference.  Results
+are also exported as JSON for downstream plotting.
+
+Run:  python examples/terrain_workflow_dag.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ActiveStorageClient, OperationGraph
+from repro.harness.platform import ingest_for_scheme
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.units import fmt_time
+from repro.workloads import fractal_dem
+
+
+def main() -> None:
+    cluster = Cluster.build(n_compute=12, n_storage=12)
+    pfs = ParallelFileSystem(cluster)
+    dem = fractal_dem(1024, 1024, rng=np.random.default_rng(123))
+    ingest_for_scheme(pfs, "DAS", "dem", dem, "flow-routing")
+
+    graph = (
+        OperationGraph()
+        .add("dirs", "flow-routing", "dem")
+        .add("acc", "flow-accumulation", "dirs")
+        .add("acc.smooth", "gaussian", "acc")
+        .add("slope", "slope", "dem")
+    )
+    asc = ActiveStorageClient(pfs, home="c0")
+    results = cluster.run(until=graph.submit(asc))
+
+    print("workflow results (branches overlapped):")
+    for name, res in sorted(results.items()):
+        print(
+            f"  {name:10s} {fmt_time(res.elapsed):>10s}"
+            f"  decision={res.decision.outcome}"
+        )
+    serial = sum(r.elapsed for r in results.values())
+    print(f"  makespan {fmt_time(cluster.env.now)} vs serial {fmt_time(serial)}")
+
+    # Verify every product against the sequential pipeline.
+    client = pfs.client("c0")
+    fr = default_registry.get("flow-routing")
+    fa = default_registry.get("flow-accumulation")
+    ga = default_registry.get("gaussian")
+    sl = default_registry.get("slope")
+    dirs = client.collect("dirs")
+    assert np.array_equal(dirs, fr.reference(dem))
+    acc = client.collect("acc")
+    assert np.array_equal(acc, fa.reference(dirs))
+    assert np.array_equal(client.collect("acc.smooth"), ga.reference(acc))
+    assert np.array_equal(client.collect("slope"), sl.reference(dem))
+    print("verified: all four products match the sequential references")
+
+    # Export a small provenance record.
+    record = {
+        name: {
+            "operator": res.request.operator,
+            "elapsed_s": res.elapsed,
+            "decision": res.decision.outcome,
+        }
+        for name, res in results.items()
+    }
+    out = Path(tempfile.gettempdir()) / "terrain_workflow.json"
+    out.write_text(json.dumps(record, indent=2))
+    print(f"provenance written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517/660 builds (which require fetching/using wheel)
+fail.  Keeping a ``setup.py`` and omitting ``[build-system]`` from
+pyproject.toml lets ``pip install -e .`` take the legacy
+``setup.py develop`` path, which works fully offline.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""The paper's contribution: Dynamic Active Storage.
+
+* :class:`KernelFeatures` — dependence-pattern store (Section III-B).
+* :mod:`~repro.core.predictor` — bandwidth analysis (Section III-C).
+* :class:`LayoutOptimizer` — improved data distribution (Section III-D).
+* :class:`DecisionEngine` — the Fig. 3 accept/reject workflow.
+* :class:`ActiveStorageClient` / :class:`ASServer` — the prototype's
+  client and per-node helper (Fig. 2).
+* :class:`Pipeline` — successive operations sharing a pattern.
+"""
+
+from .analysis import local_strides, locality_table
+from .as_server import ASServer
+from .dag import GraphOp, OperationGraph
+from .das_client import ActiveStorageClient
+from .decision import (
+    OFFLOAD_IN_PLACE,
+    OFFLOAD_REDISTRIBUTE,
+    SERVE_NORMAL,
+    DecisionEngine,
+    OffloadDecision,
+)
+from .features import KernelFeatures
+from .layout_opt import LayoutOptimizer, LayoutPlan
+from .pipeline import Pipeline, PipelineStage
+from .predictor import (
+    BandwidthPredictor,
+    BandwidthPrediction,
+    cross_server_elements,
+    dependence_is_local,
+    element_movement_bytes,
+    location_grouped,
+    location_round_robin,
+    offload_interserver_bytes,
+    remote_halo_bytes,
+    replication_bytes,
+    strip_of_element,
+)
+from .request import ActiveRequest, ActiveResult, ServerExecStats, TAG_AS
+from .time_model import TimeAwareDecisionEngine, TimeEstimate, TimeModel
+
+__all__ = [
+    "ASServer",
+    "ActiveRequest",
+    "ActiveResult",
+    "ActiveStorageClient",
+    "BandwidthPredictor",
+    "BandwidthPrediction",
+    "DecisionEngine",
+    "GraphOp",
+    "OperationGraph",
+    "KernelFeatures",
+    "LayoutOptimizer",
+    "LayoutPlan",
+    "OFFLOAD_IN_PLACE",
+    "OFFLOAD_REDISTRIBUTE",
+    "OffloadDecision",
+    "Pipeline",
+    "PipelineStage",
+    "SERVE_NORMAL",
+    "ServerExecStats",
+    "TimeAwareDecisionEngine",
+    "TimeEstimate",
+    "TimeModel",
+    "TAG_AS",
+    "cross_server_elements",
+    "dependence_is_local",
+    "element_movement_bytes",
+    "location_grouped",
+    "location_round_robin",
+    "offload_interserver_bytes",
+    "remote_halo_bytes",
+    "replication_bytes",
+    "local_strides",
+    "locality_table",
+    "strip_of_element",
+]

@@ -1,0 +1,87 @@
+"""Locality analysis tables (paper Section III-C, Fig. 6).
+
+Small pedagogical/operational helpers that answer the question the
+paper's Eqs. (11)–(17) pose: *for which strides, strip sizes and server
+counts does dependent data stay server-local?*  Used by the
+``offload_decisions`` example and handy when sizing a deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..pfs.layout import GroupedLayout, RoundRobinLayout
+from .predictor import cross_server_elements, dependence_is_local
+
+
+def locality_table(
+    strides: Sequence[int],
+    element_size: int,
+    strip_size: int,
+    n_servers: int,
+    groups: Sequence[int] = (1,),
+    n_elements: int | None = None,
+) -> List[dict]:
+    """One row per (stride, group): Eq. (17) verdict plus — when
+    ``n_elements`` is given — the exact count of cross-server
+    dependencies for a ±stride pattern over a file of that size.
+
+    The exact count exposes where the analytic criterion is
+    conservative: a stride smaller than one strip fails Eq. (17) yet
+    only the elements near strip boundaries actually cross.
+    """
+    rows: List[dict] = []
+    servers = [f"s{i}" for i in range(n_servers)]
+    for group in groups:
+        layout = (
+            RoundRobinLayout(servers, strip_size)
+            if group == 1
+            else GroupedLayout(servers, strip_size, group)
+        )
+        for stride in strides:
+            row = {
+                "stride": int(stride),
+                "group_r": int(group),
+                "eq17_local": dependence_is_local(
+                    stride, element_size, strip_size, n_servers, group
+                ),
+            }
+            if n_elements is not None:
+                crossings = cross_server_elements(
+                    layout,
+                    n_elements,
+                    element_size,
+                    np.array([-stride, stride]),
+                )
+                row["cross_server_deps"] = crossings
+                row["cross_fraction"] = (
+                    crossings / (2 * n_elements) if n_elements else 0.0
+                )
+            rows.append(row)
+    return rows
+
+
+def local_strides(
+    element_size: int,
+    strip_size: int,
+    n_servers: int,
+    group: int = 1,
+    limit: int | None = None,
+) -> Iterable[int]:
+    """The strides Eq. (17) declares free: multiples of one *server
+    round* (``group * strip_size * n_servers / element_size`` elements).
+
+    Yields them in increasing order, up to ``limit`` (exclusive) when
+    given, otherwise forever.
+    """
+    round_bytes = group * strip_size * n_servers
+    if round_bytes % element_size:
+        # No integral element stride lands exactly on a server round.
+        return
+    step = round_bytes // element_size
+    stride = step
+    while limit is None or stride < limit:
+        yield stride
+        stride += step

@@ -1,0 +1,359 @@
+"""The AS helper process on each storage node (paper Fig. 2: "AS",
+"Processing Kernels", "Local I/O API").
+
+When an offloaded request arrives, the helper walks the runs of strips
+whose primary copy lives on its node, and for each run:
+
+1. gathers the element window = run + dependence halo — locally held
+   bytes (primary strips and DAS replicas) come from the disk through
+   the Local I/O API; missing halo comes from the owning peer server
+   over the fabric (this is NAS's downfall and what the DAS layout
+   eliminates);
+2. invokes the processing kernel (CPU time charged on the node's
+   engine, the same engine that serves peers' requests);
+3. writes the output run back through the PFS — primary strips locally,
+   replica strips (DAS layouts) to the neighbouring servers.
+
+Halo fetch granularity is configurable: ``"strip"`` transfers whole
+neighbour strips (what the paper's NAS prototype does — "each strip was
+transferred multiple times among the storage nodes"), ``"exact"``
+transfers only the dependence reach (an idealised variant for
+ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ActiveStorageError
+from ..kernels.base import KernelRegistry, default_registry
+from ..kernels.reductions import ReductionRegistry, default_reductions
+from ..kernels.stencil import Window, window_bounds
+from ..net.message import Message
+from ..pfs.dataserver import ReadPiece, WritePiece, request_wire_size
+from ..pfs.dataserver import TAG_PFS
+from ..pfs.datafile import FileMeta
+from ..pfs.filesystem import ParallelFileSystem
+from ..pfs.localio import LocalFile
+from ..sim import Resource
+from .request import EXEC_REPLY_BYTES, TAG_AS, ServerExecStats
+
+HALO_GRANULARITIES = ("strip", "exact")
+
+
+class ASServer:
+    """Active-storage helper bound to one storage node."""
+
+    def __init__(
+        self,
+        pfs: ParallelFileSystem,
+        server: str,
+        registry: Optional[KernelRegistry] = None,
+        halo_granularity: str = "strip",
+        max_inflight_runs: int = 4,
+    ):
+        if halo_granularity not in HALO_GRANULARITIES:
+            raise ActiveStorageError(
+                f"unknown halo granularity {halo_granularity!r};"
+                f" pick from {HALO_GRANULARITIES}"
+            )
+        if max_inflight_runs <= 0:
+            raise ActiveStorageError(
+                f"max_inflight_runs must be positive, got {max_inflight_runs!r}"
+            )
+        self.pfs = pfs
+        self.ds = pfs.servers[server]
+        self.node = self.ds.node
+        self.env = self.node.env
+        self.transport = pfs.cluster.transport
+        self.registry = registry or default_registry
+        self.reductions: ReductionRegistry = default_reductions
+        self.halo_granularity = halo_granularity
+        self.max_inflight_runs = int(max_inflight_runs)
+        self._service = self.env.process(self._serve(), name=f"as-server:{server}")
+
+    @property
+    def name(self) -> str:
+        return self.ds.name
+
+    # -- request loop ------------------------------------------------------------
+    def _serve(self):
+        while True:
+            msg = yield self.transport.recv(self.name, tag=TAG_AS)
+            self.env.process(self._handle(msg), name=f"as-handle:{self.name}")
+
+    def _handle(self, msg: Message):
+        req = msg.payload
+        op = req.get("op")
+        if op == "exec":
+            stats = yield self.execute(
+                req["kernel"],
+                req["file"],
+                req["output"],
+                req.get("replicate_output", True),
+            )
+            yield self.transport.reply(msg, stats, EXEC_REPLY_BYTES)
+        elif op == "reduce":
+            kernel = self.reductions.get(req["kernel"])
+            payload = yield self.env.process(
+                self._reduce(kernel, req["file"]),
+                name=f"as-reduce:{self.name}:{kernel.name}",
+            )
+            yield self.transport.reply(
+                msg, payload, EXEC_REPLY_BYTES + kernel.result_bytes
+            )
+        else:
+            raise ActiveStorageError(f"unknown AS op {op!r}")
+
+    # -- reductions (dependence-free scans with tiny results) ----------------
+    def _reduce(self, kernel, file: str):
+        """Fold a reduction kernel over this server's primary runs."""
+        meta = self.pfs.metadata.lookup(file)
+        local = LocalFile(self.ds, meta)
+        acc = None
+        have = False
+        elements = 0
+        for run in local.primary_runs():
+            first, count = local.run_elem_range(run)
+            if count == 0:
+                continue
+            data = yield local.read_elems(first, count)
+            yield self.node.cpu.run_kernel(kernel.name, count)
+            part = kernel.partial(np.asarray(data, dtype=np.float64))
+            acc = kernel.combine(acc, part) if have else part
+            have = True
+            elements += count
+        return {"partial": acc, "elements": elements, "server": self.name}
+
+    # -- execution ------------------------------------------------------------------
+    def execute(self, kernel_name: str, file: str, output: str, replicate_output: bool):
+        """Process: run the kernel over this server's primary runs;
+        value is a :class:`ServerExecStats`."""
+        return self.env.process(
+            self._execute(kernel_name, file, output, replicate_output),
+            name=f"as-exec:{self.name}:{kernel_name}",
+        )
+
+    def _execute(self, kernel_name: str, file: str, output: str, replicate_output: bool):
+        kernel = self.registry.get(kernel_name)
+        meta = self.pfs.metadata.lookup(file)
+        out_meta = self.pfs.metadata.lookup(output)
+        if out_meta.size != meta.size:
+            raise ActiveStorageError(
+                f"output {output!r} must match input size"
+                f" ({out_meta.size} != {meta.size})"
+            )
+        pattern = kernel.pattern()
+        width = meta.width if meta.shape is not None else 1
+        rb = pattern.reach_before(width)
+        ra = pattern.reach_after(width)
+
+        local = LocalFile(self.ds, meta)
+        stats = ServerExecStats(server=self.name)
+        # Runs are executed through a bounded pipeline: while one run
+        # computes, the next runs' halo fetches are already in flight
+        # (standard request overlap; without it every run would stall a
+        # full fetch round trip).
+        slots = Resource(self.env, capacity=self.max_inflight_runs)
+        jobs = []
+        for run in local.primary_runs():
+            first, count = local.run_elem_range(run)
+            if count == 0:
+                continue
+            jobs.append(
+                self.env.process(
+                    self._run_one(
+                        kernel,
+                        kernel_name,
+                        meta,
+                        out_meta,
+                        first,
+                        count,
+                        rb,
+                        ra,
+                        width,
+                        replicate_output,
+                        slots,
+                        stats,
+                    ),
+                    name=f"as-run:{self.name}:{first}",
+                )
+            )
+        for job in jobs:
+            yield job
+        return stats
+
+    def _run_one(
+        self,
+        kernel,
+        kernel_name: str,
+        meta: FileMeta,
+        out_meta: FileMeta,
+        first: int,
+        count: int,
+        rb: int,
+        ra: int,
+        width: int,
+        replicate_output: bool,
+        slots: Resource,
+        stats: ServerExecStats,
+    ):
+        with slots.request() as slot:
+            yield slot
+            win_lo, win_hi = window_bounds(first, count, rb, ra, meta.n_elements)
+            raw = yield self.env.process(
+                self._gather_window(
+                    meta,
+                    win_lo * meta.element_size,
+                    (win_hi - win_lo) * meta.element_size,
+                    stats,
+                )
+            )
+            window = Window(
+                data=np.ascontiguousarray(raw).view(meta.dtype).astype(
+                    np.float64, copy=False
+                ),
+                lo=win_lo,
+                first=first,
+                end=first + count,
+                width=width,
+                n_elements=meta.n_elements,
+            )
+            stats.compute_seconds += yield self.node.cpu.run_kernel(kernel_name, count)
+            result = kernel.apply_window(window).astype(out_meta.dtype, copy=False)
+            yield self.env.process(
+                self._write_output(out_meta, first, result, replicate_output, stats)
+            )
+            stats.runs += 1
+            stats.elements += count
+        return None
+
+    # -- window gathering ----------------------------------------------------------------
+    def _gather_window(self, meta: FileMeta, offset: int, length: int, stats):
+        """Assemble ``[offset, offset+length)`` of ``meta`` into a buffer:
+        local strips via the disk, missing strips from their owners."""
+        layout = meta.layout
+        out = np.empty(length, dtype=np.uint8)
+
+        local_pieces: List[ReadPiece] = []
+        local_spans: List[tuple] = []  # (buffer pos, length)
+        remote_strips: Dict[str, Dict[int, List[tuple]]] = {}
+
+        for e in layout.map_extent(offset, length):
+            pos = e.offset - offset
+            if self.ds.has_strip(meta.name, e.strip):
+                local_pieces.append(ReadPiece(e.strip, e.in_strip, e.length))
+                local_spans.append((pos, e.length))
+            else:
+                owner = layout.primary_server(e.strip)
+                remote_strips.setdefault(owner, {}).setdefault(e.strip, []).append(
+                    (pos, e.in_strip, e.length)
+                )
+
+        jobs = []
+        if local_pieces:
+            jobs.append(
+                self.env.process(
+                    self._local_job(meta.name, local_pieces, local_spans, out)
+                )
+            )
+        for owner, strips in remote_strips.items():
+            jobs.append(self.env.process(self._remote_job(meta, owner, strips, out, stats)))
+        for job in jobs:
+            yield job
+        stats.halo_bytes_local += sum(p.length for p in local_pieces)
+        return out
+
+    def _local_job(self, file: str, pieces: List[ReadPiece], spans, out: np.ndarray):
+        data = yield self.ds.read_pieces(file, pieces)
+        cursor = 0
+        for (pos, ln) in spans:
+            out[pos : pos + ln] = data[cursor : cursor + ln]
+            cursor += ln
+        return None
+
+    def _remote_job(self, meta: FileMeta, owner: str, strips, out: np.ndarray, stats):
+        """Fetch the needed parts of ``strips`` from ``owner``."""
+        if self.halo_granularity == "strip":
+            # Pull each neighbour strip in full, then slice what we need.
+            pieces = [
+                ReadPiece(s, 0, meta.layout.strip_extent_bytes(s, meta.size))
+                for s in sorted(strips)
+            ]
+        else:
+            pieces = [
+                ReadPiece(s, in_strip, ln)
+                for s in sorted(strips)
+                for (_pos, in_strip, ln) in strips[s]
+            ]
+        reply = yield self.transport.call(
+            self.name,
+            owner,
+            {"op": "read", "file": meta.name, "pieces": pieces},
+            request_wire_size(len(pieces)),
+            tag=TAG_PFS,
+        )
+        data = reply.payload
+        stats.halo_bytes_remote += int(data.nbytes)
+
+        cursor = 0
+        for piece in pieces:
+            chunk = data[cursor : cursor + piece.length]
+            for (pos, in_strip, ln) in strips[piece.strip]:
+                if (
+                    in_strip >= piece.in_strip
+                    and in_strip + ln <= piece.in_strip + piece.length
+                ):
+                    rel = in_strip - piece.in_strip
+                    out[pos : pos + ln] = chunk[rel : rel + ln]
+            cursor += piece.length
+        return None
+
+    # -- output writing ---------------------------------------------------------------------
+    def _write_output(
+        self,
+        out_meta: FileMeta,
+        first: int,
+        data: np.ndarray,
+        replicate_output: bool,
+        stats,
+    ):
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        offset = first * out_meta.element_size
+        layout = out_meta.layout
+
+        local_pieces: List[WritePiece] = []
+        remote: Dict[str, List[WritePiece]] = {}
+        for e in layout.map_extent(offset, raw.nbytes):
+            piece_data = raw[e.offset - offset : e.offset - offset + e.length]
+            holders = layout.replicas(e.strip) if replicate_output else [
+                layout.primary_server(e.strip)
+            ]
+            for server in holders:
+                piece = WritePiece(e.strip, e.in_strip, piece_data)
+                if server == self.name:
+                    local_pieces.append(piece)
+                else:
+                    remote.setdefault(server, []).append(piece)
+
+        jobs = []
+        if local_pieces:
+            jobs.append(self.ds.write_pieces(out_meta.name, local_pieces))
+            stats.output_bytes_local += sum(p.data.nbytes for p in local_pieces)
+        for server, pieces in remote.items():
+            payload_bytes = sum(p.data.nbytes for p in pieces)
+            jobs.append(
+                self.transport.call(
+                    self.name,
+                    server,
+                    {"op": "write", "file": out_meta.name, "pieces": pieces},
+                    request_wire_size(len(pieces)) + payload_bytes,
+                    tag=TAG_PFS,
+                )
+            )
+            stats.output_bytes_remote += payload_bytes
+        for job in jobs:
+            yield job
+        return None

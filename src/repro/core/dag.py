@@ -1,0 +1,136 @@
+"""Operation graphs: DAG-structured analysis workflows.
+
+The paper's pipeline notion (flow-routing feeding flow-accumulation)
+generalises to a DAG: one input raster can feed several independent
+derivative products (directions -> accumulation, slope, relief ...),
+and branches can run concurrently on the active storage.  An
+:class:`OperationGraph` schedules each node as soon as its producer
+finishes, runs independent branches in parallel, and advertises each
+node's *successor count* to the decision engine so one redistribution
+is amortised over everything downstream of it.
+
+Node outputs are PFS files named after the node, so downstream tools
+(and tests) can collect any intermediate product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ActiveStorageError
+from .das_client import ActiveStorageClient
+from .request import ActiveRequest, ActiveResult
+
+
+@dataclass(frozen=True)
+class GraphOp:
+    """One node: run ``operator`` on ``source`` producing file ``name``."""
+
+    name: str
+    operator: str
+    #: Another node's name, or an existing PFS file for root nodes.
+    source: str
+
+
+class OperationGraph:
+    """A DAG of active-storage operations."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, GraphOp] = {}
+
+    def add(self, name: str, operator: str, source: str) -> "OperationGraph":
+        """Add a node (chainable).  ``source`` may be a previously added
+        node (consume its output) or the name of an existing PFS file."""
+        if name in self._nodes:
+            raise ActiveStorageError(f"graph node {name!r} already exists")
+        self._nodes[name] = GraphOp(name=name, operator=operator, source=source)
+        return self
+
+    # -- structure queries -----------------------------------------------------
+    def parents(self, name: str) -> Optional[str]:
+        node = self._nodes[name]
+        return node.source if node.source in self._nodes else None
+
+    def children(self, name: str) -> List[str]:
+        return [n for n, op in self._nodes.items() if op.source == name]
+
+    def descendants(self, name: str) -> int:
+        """Number of nodes downstream of ``name`` (its amortisation pool)."""
+        seen = set()
+        stack = [name]
+        while stack:
+            for child in self.children(stack.pop()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return len(seen)
+
+    def roots(self) -> List[str]:
+        return [n for n in self._nodes if self.parents(n) is None]
+
+    def validate(self) -> None:
+        """Reject cycles and dangling structure."""
+        if not self._nodes:
+            raise ActiveStorageError("empty operation graph")
+        # Kahn's algorithm over the node-to-node edges.
+        remaining = {n: self.parents(n) for n in self._nodes}
+        progressed = True
+        while remaining and progressed:
+            progressed = False
+            for name, parent in list(remaining.items()):
+                if parent is None or parent not in remaining:
+                    del remaining[name]
+                    progressed = True
+        if remaining:
+            raise ActiveStorageError(
+                f"operation graph has a cycle involving {sorted(remaining)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- execution ----------------------------------------------------------------
+    def submit(self, client: ActiveStorageClient):
+        """Process: run the whole graph; value is
+        ``{node name: ActiveResult}``.
+
+        Each node starts the moment its producer's output exists;
+        sibling branches overlap on the storage servers.
+        """
+        self.validate()
+        env = client.env
+        done: Dict[str, object] = {name: env.event() for name in self._nodes}
+        results: Dict[str, ActiveResult] = {}
+
+        def run_node(op: GraphOp):
+            parent = self.parents(op.name)
+            if parent is not None:
+                yield done[parent]
+                input_file = parent
+            else:
+                input_file = op.source
+            request = ActiveRequest(
+                operator=op.operator,
+                file=input_file,
+                output=op.name,
+                pipeline_length=1 + self.descendants(op.name),
+            )
+            result = yield client.submit(request)
+            results[op.name] = result
+            done[op.name].succeed(result)
+            return result
+
+        def run_all():
+            jobs = [
+                env.process(run_node(op), name=f"dag:{op.name}")
+                for op in self._nodes.values()
+            ]
+            for job in jobs:
+                yield job
+            return results
+
+        return env.process(run_all(), name="dag:run")

@@ -1,0 +1,227 @@
+"""The Active Storage Client (paper Fig. 2) and the DAS orchestration.
+
+Applications hand :class:`~repro.core.request.ActiveRequest` objects to
+the client.  The client runs the decision engine; on acceptance it
+(optionally) reconfigures the file's distribution, registers the output
+file, and fans the exec command out to the AS helper on every storage
+node — the paper's improved parallel I/O path "similarly as done in
+[Son et al.]".  On rejection the request is reported back so the caller
+serves it as normal I/O (the TS path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ActiveStorageError, OffloadRejectedError
+from ..kernels.base import KernelRegistry, default_registry
+from ..pfs.filesystem import ParallelFileSystem
+from .as_server import ASServer
+from .decision import DecisionEngine, OffloadDecision
+from .features import KernelFeatures
+from .request import (
+    EXEC_REQUEST_BYTES,
+    TAG_AS,
+    ActiveRequest,
+    ActiveResult,
+    ServerExecStats,
+)
+
+
+class ActiveStorageClient:
+    """Client-side entry point for active-storage I/O."""
+
+    def __init__(
+        self,
+        pfs: ParallelFileSystem,
+        home: str,
+        engine: Optional[DecisionEngine] = None,
+        registry: Optional[KernelRegistry] = None,
+        halo_granularity: str = "strip",
+        start_servers: bool = True,
+    ):
+        self.pfs = pfs
+        self.cluster = pfs.cluster
+        self.env = pfs.cluster.env
+        self.transport = pfs.cluster.transport
+        self.home = home
+        self.registry = registry or default_registry
+        self.engine = engine or DecisionEngine(
+            features=KernelFeatures.from_registry(self.registry)
+        )
+        self.servers: Dict[str, ASServer] = {}
+        if start_servers:
+            for name in pfs.server_names:
+                self.servers[name] = ASServer(
+                    pfs, name, registry=self.registry, halo_granularity=halo_granularity
+                )
+
+    # -- decision-only entry (usable without running anything) ---------------
+    def decide(self, request: ActiveRequest) -> OffloadDecision:
+        meta = self.pfs.metadata.lookup(request.file)
+        return self.engine.decide(
+            meta, request.operator, pipeline_length=request.pipeline_length
+        )
+
+    # -- full submission ------------------------------------------------------------
+    def submit(self, request: ActiveRequest, force_offload: bool = False):
+        """Process: run the Fig. 3 workflow end to end.
+
+        Value is an :class:`ActiveResult`.  When the engine rejects the
+        request the process *fails* with :class:`OffloadRejectedError`
+        carrying the decision, so callers fall back to normal I/O —
+        unless ``force_offload`` is set (used to reproduce the NAS
+        behaviour of offloading unconditionally).
+        """
+        return self.env.process(
+            self._submit(request, force_offload), name=f"as-submit:{request.operator}"
+        )
+
+    def _submit(self, request: ActiveRequest, force_offload: bool):
+        started = self.env.now
+        meta = self.pfs.metadata.lookup(request.file)
+        decision = self.engine.decide(
+            meta, request.operator, pipeline_length=request.pipeline_length
+        )
+        if not decision.accept and not force_offload:
+            raise OffloadRejectedError(decision)
+
+        redistribution_bytes = 0
+        if decision.accept and decision.redistribute_to is not None:
+            redistribution_bytes = yield self.pfs.redistributor.redistribute(
+                request.file, decision.redistribute_to
+            )
+            meta = self.pfs.metadata.lookup(request.file)
+
+        result = yield self.env.process(
+            self._execute(request, decision, started, redistribution_bytes)
+        )
+        return result
+
+    def execute_offload(self, request: ActiveRequest, decision: OffloadDecision):
+        """Process: run the offload fan-out without consulting the
+        engine (schemes use this to pin behaviour, e.g. plain NAS)."""
+        return self.env.process(
+            self._execute(request, decision, self.env.now, 0),
+            name=f"as-exec-all:{request.operator}",
+        )
+
+    def _execute(
+        self,
+        request: ActiveRequest,
+        decision: OffloadDecision,
+        started: float,
+        redistribution_bytes: int,
+    ):
+        meta = self.pfs.metadata.lookup(request.file)
+        self._register_output(request, meta)
+
+        calls = [
+            self.transport.call(
+                self.home,
+                server,
+                {
+                    "op": "exec",
+                    "kernel": request.operator,
+                    "file": request.file,
+                    "output": request.output,
+                    "replicate_output": request.replicate_output,
+                },
+                EXEC_REQUEST_BYTES,
+                tag=TAG_AS,
+            )
+            for server in self.pfs.server_names
+        ]
+        per_server: Dict[str, ServerExecStats] = {}
+        for call in calls:
+            reply = yield call
+            stats = reply.payload
+            per_server[stats.server] = stats
+
+        total_elements = sum(s.elements for s in per_server.values())
+        if total_elements != meta.n_elements:
+            raise ActiveStorageError(
+                f"offload covered {total_elements} of {meta.n_elements} elements"
+                f" of {request.file!r}"
+            )
+        return ActiveResult(
+            request=request,
+            decision=decision,
+            offloaded=True,
+            elapsed=self.env.now - started,
+            redistribution_bytes=redistribution_bytes,
+            per_server=per_server,
+        )
+
+    # -- reductions -----------------------------------------------------------
+    def submit_reduction(self, operator: str, file: str):
+        """Process: offload a reduction (dependence-free scan with a
+        tiny result) to every storage server and merge the partials.
+
+        Value is a dict with ``value`` (the finalised result),
+        ``elapsed`` and ``result_bytes_moved``.  Reductions are the
+        paper's "desired access pattern" — no dependence, so the
+        decision is trivially in favour of offloading."""
+        return self.env.process(
+            self._submit_reduction(operator, file), name=f"as-reduce:{operator}"
+        )
+
+    def _submit_reduction(self, operator: str, file: str):
+        from ..kernels.reductions import default_reductions
+
+        kernel = default_reductions.get(operator)
+        meta = self.pfs.metadata.lookup(file)
+        started = self.env.now
+        calls = [
+            self.transport.call(
+                self.home,
+                server,
+                {"op": "reduce", "kernel": operator, "file": file},
+                EXEC_REQUEST_BYTES,
+                tag=TAG_AS,
+            )
+            for server in self.pfs.server_names
+        ]
+        acc = None
+        have = False
+        covered = 0
+        moved = 0
+        for call in calls:
+            reply = yield call
+            payload = reply.payload
+            covered += payload["elements"]
+            moved += reply.size
+            if payload["partial"] is None:
+                continue
+            acc = kernel.combine(acc, payload["partial"]) if have else payload["partial"]
+            have = True
+        if covered != meta.n_elements:
+            raise ActiveStorageError(
+                f"reduction covered {covered} of {meta.n_elements} elements"
+                f" of {file!r}"
+            )
+        return {
+            "value": kernel.finalize(acc),
+            "elapsed": self.env.now - started,
+            "result_bytes_moved": moved,
+        }
+
+    def _register_output(self, request: ActiveRequest, meta) -> None:
+        """Create the output file record: same geometry, kernels emit
+        float64, laid out like the (possibly redistributed) input."""
+        if self.pfs.metadata.exists(request.output):
+            raise ActiveStorageError(f"output file {request.output!r} already exists")
+        out_dtype = np.dtype(np.float64)
+        if meta.dtype != out_dtype:
+            raise ActiveStorageError(
+                f"active-storage kernels operate on float64 files, got {meta.dtype}"
+            )
+        self.pfs.metadata.create(
+            request.output,
+            meta.size,
+            meta.layout,
+            dtype=out_dtype,
+            shape=meta.shape,
+        )

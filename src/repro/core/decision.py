@@ -1,0 +1,171 @@
+"""Offload decision engine (paper Fig. 3 workflow).
+
+For each active-storage request the engine walks the paper's flowchart:
+
+1. get the dependence pattern (Kernel Features),
+2. get the file's distribution information (metadata),
+3. predict the bandwidth cost of offloading vs. normal I/O,
+4. when successive operations will reuse the pattern, plan an improved
+   distribution and amortise its redistribution cost over the pipeline,
+5. accept the request — possibly with a layout change — or reject it so
+   it is served as normal I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pfs.datafile import FileMeta
+from ..pfs.distribution import planned_bytes
+from ..pfs.layout import Layout
+from .features import KernelFeatures
+from .layout_opt import LayoutOptimizer
+from .predictor import BandwidthPrediction, BandwidthPredictor
+
+#: Decision outcomes.
+SERVE_NORMAL = "serve-normal"
+OFFLOAD_IN_PLACE = "offload-in-place"
+OFFLOAD_REDISTRIBUTE = "offload-redistribute"
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """The engine's verdict for one request."""
+
+    outcome: str
+    #: Target layout when outcome is OFFLOAD_REDISTRIBUTE.
+    redistribute_to: Optional[Layout]
+    #: Prediction under the file's current layout.
+    prediction_current: BandwidthPrediction
+    #: Prediction under the planned layout (when one was considered).
+    prediction_planned: Optional[BandwidthPrediction]
+    #: Wire bytes the planned redistribution would move (un-amortised).
+    redistribution_bytes: int
+    #: Operations expected to share the pattern (amortisation factor).
+    pipeline_length: int
+    reason: str
+    #: Data-path weight applied to redistribution bytes (see
+    #: :class:`DecisionEngine.redistribution_penalty`).
+    redistribution_penalty: float = 1.5
+
+    @property
+    def accept(self) -> bool:
+        """True iff the request is served as active storage."""
+        return self.outcome != SERVE_NORMAL
+
+    def offload_cost(self) -> float:
+        """Predicted per-operation byte cost of the chosen offload path."""
+        if self.outcome == OFFLOAD_REDISTRIBUTE:
+            assert self.prediction_planned is not None
+            return (
+                self.prediction_planned.offload_bytes
+                + self.redistribution_penalty
+                * self.redistribution_bytes
+                / self.pipeline_length
+            )
+        return float(self.prediction_current.offload_bytes)
+
+
+class DecisionEngine:
+    """Dynamically accepts or rejects active-storage requests."""
+
+    def __init__(
+        self,
+        features: Optional[KernelFeatures] = None,
+        predictor: Optional[BandwidthPredictor] = None,
+        optimizer: Optional[LayoutOptimizer] = None,
+        redistribution_penalty: float = 1.5,
+    ):
+        self.features = features or KernelFeatures.from_registry()
+        self.predictor = predictor or BandwidthPredictor()
+        self.optimizer = optimizer or LayoutOptimizer()
+        #: Weight on redistribution bytes when comparing against plain
+        #: transfers: a redistributed byte crosses the source disk, the
+        #: wire and the destination disk (vs disk+wire for a normal
+        #: read), and measured end-to-end it costs ~1.5x a normally
+        #: served byte on the reference platform.
+        self.redistribution_penalty = float(redistribution_penalty)
+
+    def decide(
+        self,
+        meta: FileMeta,
+        operator: str,
+        pipeline_length: int = 1,
+        allow_redistribution: bool = True,
+    ) -> OffloadDecision:
+        """Run the Fig. 3 workflow for one request.
+
+        ``pipeline_length`` is the number of successive operations known
+        to share the dependence pattern (flow-routing followed by
+        flow-accumulation gives 2); redistribution cost is divided by it.
+        """
+        pattern = self.features.get(operator)
+        current = self.predictor.predict(meta, pattern)
+
+        planned_pred: Optional[BandwidthPrediction] = None
+        redist_bytes = 0
+        plan_layout: Optional[Layout] = None
+        if (
+            allow_redistribution
+            and not pattern.is_independent
+            and not self.optimizer.already_optimal(meta, pattern)
+        ):
+            plan = self.optimizer.plan(meta, pattern)
+            if plan.layout is not None:
+                plan_layout = plan.layout
+                planned_pred = self.predictor.predict(meta, pattern, layout=plan.layout)
+                redist_bytes = planned_bytes(meta, plan.layout)
+
+        pipeline_length = max(1, int(pipeline_length))
+        cost_normal = float(current.normal_bytes)
+        cost_current = float(current.offload_bytes)
+        cost_planned = (
+            planned_pred.offload_bytes
+            + self.redistribution_penalty * redist_bytes / pipeline_length
+            if planned_pred is not None
+            else float("inf")
+        )
+
+        best = min(cost_normal, cost_current, cost_planned)
+        if best == cost_planned and planned_pred is not None:
+            return OffloadDecision(
+                outcome=OFFLOAD_REDISTRIBUTE,
+                redistribute_to=plan_layout,
+                prediction_current=current,
+                prediction_planned=planned_pred,
+                redistribution_bytes=redist_bytes,
+                pipeline_length=pipeline_length,
+                redistribution_penalty=self.redistribution_penalty,
+                reason=(
+                    f"redistribute + offload moves {cost_planned:.0f} B/op vs"
+                    f" {cost_current:.0f} B in place, {cost_normal:.0f} B normal"
+                ),
+            )
+        if best == cost_current:
+            return OffloadDecision(
+                outcome=OFFLOAD_IN_PLACE,
+                redistribute_to=None,
+                prediction_current=current,
+                prediction_planned=planned_pred,
+                redistribution_bytes=redist_bytes,
+                pipeline_length=pipeline_length,
+                redistribution_penalty=self.redistribution_penalty,
+                reason=(
+                    f"current layout already cheap: {cost_current:.0f} B vs"
+                    f" {cost_normal:.0f} B normal"
+                ),
+            )
+        return OffloadDecision(
+            outcome=SERVE_NORMAL,
+            redistribute_to=None,
+            prediction_current=current,
+            prediction_planned=planned_pred,
+            redistribution_bytes=redist_bytes,
+            pipeline_length=pipeline_length,
+            redistribution_penalty=self.redistribution_penalty,
+            reason=(
+                f"offload would move {min(cost_current, cost_planned):.0f} B vs"
+                f" {cost_normal:.0f} B as normal I/O; request rejected"
+            ),
+        )

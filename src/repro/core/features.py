@@ -1,0 +1,74 @@
+"""Kernel Features component (paper Section III-B).
+
+"A component called Kernel Features is embedded in the active storage
+client to identify data dependence patterns.  The patterns can be
+implemented and represented as a plain text file..."
+
+:class:`KernelFeatures` is that component: a store of
+operator-name -> :class:`~repro.kernels.pattern.DependencePattern`,
+loadable from the paper's text format and/or seeded from the kernel
+registry (each kernel ships its own record).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import UnknownKernelError
+from ..kernels.base import KernelRegistry, default_registry
+from ..kernels.pattern import DependencePattern
+
+
+class KernelFeatures:
+    """The active-storage client's dependence-pattern store."""
+
+    def __init__(self, patterns: Iterable[DependencePattern] = ()):
+        self._patterns: Dict[str, DependencePattern] = {}
+        for p in patterns:
+            self.add(p)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_registry(cls, registry: Optional[KernelRegistry] = None) -> "KernelFeatures":
+        """Seed from every registered kernel's own record."""
+        registry = registry or default_registry
+        return cls(kernel.pattern() for kernel in registry)
+
+    @classmethod
+    def from_text(cls, text: str) -> "KernelFeatures":
+        """Load from descriptor text in the paper's record format."""
+        return cls(DependencePattern.parse(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "KernelFeatures":
+        return cls.from_text(Path(path).read_text())
+
+    # -- store ops -------------------------------------------------------------
+    def add(self, pattern: DependencePattern) -> None:
+        self._patterns[pattern.name] = pattern
+
+    def get(self, operator: str) -> DependencePattern:
+        try:
+            return self._patterns[operator]
+        except KeyError:
+            raise UnknownKernelError(
+                f"no dependence record for operator {operator!r};"
+                f" known: {sorted(self._patterns)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._patterns)
+
+    def __contains__(self, operator: str) -> bool:
+        return operator in self._patterns
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def to_text(self) -> str:
+        """Serialise the whole store as one descriptor file."""
+        return "\n".join(self._patterns[name].to_text() for name in self.names())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_text())

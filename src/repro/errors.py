@@ -1,0 +1,102 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class StopSimulation(SimulationError):
+    """Internal signal used to terminate :meth:`Environment.run`."""
+
+
+class InterruptError(SimulationError):
+    """Raised inside a process when it is interrupted by another process.
+
+    The interrupting party may attach an arbitrary ``cause``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InterruptError(cause={self.cause!r})"
+
+
+class NetworkError(ReproError):
+    """Errors raised by the simulated network fabric."""
+
+
+class RoutingError(NetworkError):
+    """No route between the requested endpoints."""
+
+
+class NodeDownError(NetworkError):
+    """The destination node is offline (failure injection)."""
+
+
+class PFSError(ReproError):
+    """Errors raised by the simulated parallel file system."""
+
+
+class FileNotFoundInPFS(PFSError):
+    """The named file does not exist on the metadata server."""
+
+
+class FileExistsInPFS(PFSError):
+    """Attempt to create a file that already exists."""
+
+
+class LayoutError(PFSError):
+    """Invalid or inconsistent data-distribution layout."""
+
+
+class StripMissingError(PFSError):
+    """A data server was asked for a strip it does not hold."""
+
+
+class KernelError(ReproError):
+    """Errors raised by processing kernels and their descriptors."""
+
+
+class PatternParseError(KernelError):
+    """The kernel-features descriptor text could not be parsed."""
+
+
+class UnknownKernelError(KernelError):
+    """The requested kernel is not present in the registry."""
+
+
+class ActiveStorageError(ReproError):
+    """Errors raised by the active-storage framework (client or server)."""
+
+
+class OffloadRejectedError(ActiveStorageError):
+    """The DAS decision engine rejected the offload request.
+
+    Carries the :class:`~repro.core.decision.OffloadDecision` that
+    explains the rejection so callers can fall back to normal I/O.
+    """
+
+    def __init__(self, decision: object = None):
+        super().__init__(decision)
+        self.decision = decision
+
+
+class HarnessError(ReproError):
+    """Errors raised by the experiment harness."""
+
+
+class UnknownExperimentError(HarnessError):
+    """The requested experiment id is not registered."""

@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` — see :mod:`repro.harness.runner`."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness fig11
+    python -m repro.harness all --scale-kb 512
+    das-harness fig14
+
+``--scale-kb`` sets how many simulated KiB stand in for one paper GB
+(default 1024, i.e. 1 MiB per GB); smaller values run faster with the
+same shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..units import KiB
+from .experiments import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="das-harness",
+        description="Regenerate the DAS paper's tables and figures in simulation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    parser.add_argument(
+        "--scale-kb",
+        type=int,
+        default=1024,
+        help="simulated KiB per paper GB label (default 1024)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip output-vs-reference verification (faster)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="also save each report as DIR/<experiment>.json and .csv",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures = 0
+    for name in names:
+        report = run_experiment(
+            name, scale=args.scale_kb * KiB, verify=not args.no_verify
+        )
+        print(report.to_text())
+        print()
+        if args.output_dir:
+            from pathlib import Path
+
+            from .export import save_report
+
+            base = Path(args.output_dir)
+            for suffix in (".json", ".csv"):
+                save_report(report, base / f"{name}{suffix}")
+        if not report.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Hardware models: CPU, disk, node, cluster."""
+
+from .cluster import Cluster
+from .cpu import CPU
+from .disk import Disk
+from .node import KIND_COMPUTE, KIND_STORAGE, Node
+
+__all__ = ["CPU", "Cluster", "Disk", "KIND_COMPUTE", "KIND_STORAGE", "Node"]

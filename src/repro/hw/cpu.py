@@ -1,0 +1,64 @@
+"""CPU model.
+
+A node's CPU is modelled as a single execution engine (capacity-1
+resource).  Kernel invocations are data-parallel across the node's
+cores, so their duration is ``elements * sec_per_element / cores``;
+control-plane work (serving a halo request, RPC dispatch) charges small
+fixed costs on the same engine.  Sharing one resource is what produces
+the paper's observed NAS overload: a storage server that must serve
+neighbours' dependent-data requests delays its own offloaded kernels.
+"""
+
+from __future__ import annotations
+
+from ..config import PlatformSpec
+from ..errors import SimulationError
+from ..sim import Environment, Resource
+from ..sim.monitor import MonitorHub
+
+
+class CPU:
+    """Execution engine of one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: str,
+        spec: PlatformSpec,
+        monitors: MonitorHub,
+    ):
+        if spec.cores <= 0:
+            raise SimulationError(f"node must have >= 1 core, got {spec.cores}")
+        self.env = env
+        self.owner = owner
+        self.spec = spec
+        self.monitors = monitors
+        self.engine = Resource(env, capacity=1)
+
+    def kernel_seconds(self, kernel: str, n_elements: int) -> float:
+        """Duration of a kernel invocation over ``n_elements`` elements."""
+        return n_elements * self.spec.kernel_sec_per_element(kernel) / self.spec.cores
+
+    def run_kernel(self, kernel: str, n_elements: int):
+        """Process: occupy the engine for the kernel's duration."""
+        return self.env.process(
+            self._busy(self.kernel_seconds(kernel, n_elements), f"kernel:{kernel}"),
+            name=f"cpu:{self.owner}:{kernel}",
+        )
+
+    def service(self, seconds: float, label: str = "service"):
+        """Process: occupy the engine for fixed control-plane work."""
+        return self.env.process(
+            self._busy(seconds, label), name=f"cpu:{self.owner}:{label}"
+        )
+
+    def _busy(self, seconds: float, label: str):
+        if seconds < 0:
+            raise SimulationError(f"negative CPU time {seconds!r}")
+        with self.engine.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(seconds)
+            self.monitors.counter(f"cpu.busy.{self.owner}").add(self.env.now - start)
+            self.monitors.log("cpu", f"{self.owner}:{label}", seconds=seconds)
+        return seconds

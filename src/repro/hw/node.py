@@ -1,0 +1,68 @@
+"""Cluster node: a named bundle of NIC + CPU (+ disk for storage nodes)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import PlatformSpec
+from ..errors import SimulationError
+from ..net.nic import NIC
+from ..sim import Environment
+from ..sim.monitor import MonitorHub
+from .cpu import CPU
+from .disk import Disk
+
+KIND_COMPUTE = "compute"
+KIND_STORAGE = "storage"
+
+
+class Node:
+    """One simulated machine.
+
+    Storage nodes carry a disk; compute nodes do not (they read and
+    write through the parallel file system like the paper's clients).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        kind: str,
+        spec: PlatformSpec,
+        monitors: MonitorHub,
+    ):
+        if kind not in (KIND_COMPUTE, KIND_STORAGE):
+            raise SimulationError(f"unknown node kind {kind!r}")
+        self.env = env
+        self.name = name
+        self.kind = kind
+        self.spec = spec
+        self.monitors = monitors
+        self.nic = NIC(env, name, spec.nic_bandwidth, spec.nic_latency, monitors)
+        self.cpu = CPU(env, name, spec, monitors)
+        self.disk: Optional[Disk] = (
+            Disk(env, name, spec, monitors) if kind == KIND_STORAGE else None
+        )
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind == KIND_STORAGE
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind == KIND_COMPUTE
+
+    # -- failure injection ----------------------------------------------------
+    def fail(self) -> None:
+        """Take the node offline: subsequent transfers to it fail."""
+        self.nic.bring_down()
+
+    def recover(self) -> None:
+        self.nic.bring_up()
+
+    @property
+    def is_up(self) -> bool:
+        return self.nic.is_up
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} ({self.kind})>"

@@ -1,0 +1,45 @@
+"""Flow routing (D8 single flow direction) — paper Table I, Fig. 1.
+
+For every cell, compare its elevation with its eight neighbours and
+emit the direction of the minimum neighbour ("find out the element with
+the minimum value as the flow direction").  Direction codes are
+1..8 in NW, N, NE, W, E, SW, S, SE order (:data:`D8_OFFSETS`); 0 marks
+a pit/flat cell whose neighbours are all at least as high.  Ties break
+toward the lowest code (NW first), deterministically.
+
+Out-of-map neighbours are padded with ``+inf`` so border cells never
+route off the raster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RowBlockKernel, default_registry
+from .pattern import DependencePattern
+from .stencil import neighbor_stack, pad_rows
+
+
+class FlowRoutingKernel(RowBlockKernel):
+    """D8 single-flow-direction over an elevation raster."""
+
+    name = "flow-routing"
+    description = (
+        "Basic operation of terrain analysis application from GIS. It produces"
+        " distinctive spatial and statistical patterns depending on the maximum"
+        " number of downslope cells to which flow could be directed"
+    )
+    domain = "GIS / Terrain Analysis"
+
+    def pattern(self) -> DependencePattern:
+        return DependencePattern.eight_neighbor(self.name)
+
+    def apply_rows(self, block: np.ndarray) -> np.ndarray:
+        padded = pad_rows(block, fill=np.inf)
+        stack = neighbor_stack(padded)
+        idx = np.argmin(stack, axis=0)
+        lowest = np.take_along_axis(stack, idx[None, ...], axis=0)[0]
+        return np.where(lowest < block, (idx + 1).astype(np.float64), 0.0)
+
+
+default_registry.register(FlowRoutingKernel())

@@ -1,0 +1,186 @@
+"""Reduction kernels: operators whose output is tiny.
+
+The classic active-storage win (Riedel et al.'s scan workloads, cited
+in the paper's related work) is an operator that reads the whole
+dataset but returns a small result — offloading it replaces a
+dataset-sized transfer with a few bytes per server.  These operators
+are dependence-free (each element is consumed independently), i.e. the
+paper's "desired applications' access pattern for active storage".
+
+A :class:`ReductionKernel` provides:
+
+* ``partial(values)`` — the per-server contribution over its local
+  elements (any picklable payload);
+* ``combine(a, b)`` — associative/commutative merge of contributions;
+* ``finalize(acc)`` — turn the merged accumulator into the result;
+* ``result_bytes`` — the on-wire size of one contribution.
+
+Each also exposes ``reference(array)`` for verification.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+from ..errors import KernelError, UnknownKernelError
+from .pattern import DependencePattern
+
+
+class ReductionKernel(ABC):
+    """A dataset -> small-value operator."""
+
+    name: str = ""
+    description: str = ""
+    #: Wire size of one per-server contribution, bytes.
+    result_bytes: int = 64
+
+    def pattern(self) -> DependencePattern:
+        """Reductions consume elements independently."""
+        return DependencePattern.independent(self.name)
+
+    @abstractmethod
+    def partial(self, values: np.ndarray) -> Any:
+        """Contribution of one contiguous element range."""
+
+    @abstractmethod
+    def combine(self, a: Any, b: Any) -> Any:
+        """Merge two contributions (associative, commutative)."""
+
+    def finalize(self, acc: Any) -> Any:
+        """Post-process the merged accumulator (default: identity)."""
+        return acc
+
+    def reference(self, array: np.ndarray) -> Any:
+        """Single-pass sequential result, for verification."""
+        return self.finalize(self.partial(np.ascontiguousarray(array).reshape(-1)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ReductionKernel {self.name!r}>"
+
+
+class StatsReduction(ReductionKernel):
+    """min / max / sum / count / sum-of-squares (mean and variance)."""
+
+    name = "stats"
+    description = (
+        "Dataset summary statistics (min, max, mean, variance) computed"
+        " in one pass over the local elements of every storage server"
+    )
+    result_bytes = 5 * 8
+
+    def partial(self, values: np.ndarray) -> Dict[str, float]:
+        v = values.reshape(-1)
+        if v.size == 0:
+            return {"min": np.inf, "max": -np.inf, "sum": 0.0, "sq": 0.0, "n": 0}
+        return {
+            "min": float(v.min()),
+            "max": float(v.max()),
+            "sum": float(v.sum()),
+            "sq": float(np.square(v).sum()),
+            "n": int(v.size),
+        }
+
+    def combine(self, a: Dict[str, float], b: Dict[str, float]) -> Dict[str, float]:
+        return {
+            "min": min(a["min"], b["min"]),
+            "max": max(a["max"], b["max"]),
+            "sum": a["sum"] + b["sum"],
+            "sq": a["sq"] + b["sq"],
+            "n": a["n"] + b["n"],
+        }
+
+    def finalize(self, acc: Dict[str, float]) -> Dict[str, float]:
+        n = max(1, acc["n"])
+        mean = acc["sum"] / n
+        out = dict(acc)
+        out["mean"] = mean
+        out["var"] = max(0.0, acc["sq"] / n - mean * mean)
+        return out
+
+
+class HistogramReduction(ReductionKernel):
+    """Fixed-range histogram with a configurable bin count."""
+
+    name = "histogram"
+    description = (
+        "Fixed-range histogram of the dataset, accumulated per server and"
+        " merged bin-wise at the client"
+    )
+
+    def __init__(self, lo: float = 0.0, hi: float = 1.0, bins: int = 64):
+        if not (hi > lo) or bins <= 0:
+            raise KernelError(f"invalid histogram range/bins ({lo}, {hi}, {bins})")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.result_bytes = 8 * self.bins
+
+    def partial(self, values: np.ndarray) -> np.ndarray:
+        counts, _ = np.histogram(
+            values.reshape(-1), bins=self.bins, range=(self.lo, self.hi)
+        )
+        return counts.astype(np.int64)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+
+class ThresholdCountReduction(ReductionKernel):
+    """How many elements exceed a threshold (selection selectivity)."""
+
+    name = "count-above"
+    description = (
+        "Selective scan: the number of elements strictly above a threshold"
+    )
+    result_bytes = 8
+
+    def __init__(self, threshold: float = 0.5):
+        self.threshold = float(threshold)
+
+    def partial(self, values: np.ndarray) -> int:
+        return int((values.reshape(-1) > self.threshold).sum())
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+
+class ReductionRegistry:
+    """Name -> reduction kernel instance."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, ReductionKernel] = {}
+
+    def register(self, kernel: ReductionKernel) -> ReductionKernel:
+        if not kernel.name:
+            raise KernelError("reduction kernel has no name")
+        if kernel.name in self._kernels:
+            raise KernelError(f"reduction {kernel.name!r} already registered")
+        self._kernels[kernel.name] = kernel
+        return kernel
+
+    def get(self, name: str) -> ReductionKernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise UnknownKernelError(
+                f"unknown reduction {name!r}; registered: {sorted(self._kernels)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __iter__(self) -> Iterator[ReductionKernel]:
+        return iter(self._kernels.values())
+
+
+#: Process-wide default reduction registry.
+default_reductions = ReductionRegistry()
+default_reductions.register(StatsReduction())
+default_reductions.register(HistogramReduction())
+default_reductions.register(ThresholdCountReduction())

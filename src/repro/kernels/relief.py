@@ -1,0 +1,40 @@
+"""Local relief (3x3 range filter) — terrain roughness.
+
+A standard DEM derivative used when establishing digital elevation
+models (paper Section III-C: "digital evaluation model establishment"):
+each cell's local relief is the elevation range over its 3x3
+neighbourhood, ``max - min`` including the cell itself.  8-neighbour
+dependence, replicate edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RowBlockKernel, default_registry
+from .pattern import DependencePattern
+from .stencil import neighbor_stack, pad_rows
+
+
+class ReliefKernel(RowBlockKernel):
+    """3x3 elevation range (local relief)."""
+
+    name = "relief"
+    description = (
+        "Terrain roughness operator: the elevation range (max - min) over"
+        " each cell's 3x3 neighbourhood, used in DEM quality assessment"
+    )
+    domain = "GIS / Terrain Analysis"
+
+    def pattern(self) -> DependencePattern:
+        return DependencePattern.eight_neighbor(self.name)
+
+    def apply_rows(self, block: np.ndarray) -> np.ndarray:
+        p = pad_rows(block, fill="edge")
+        stack = neighbor_stack(p)
+        hi = np.maximum(stack.max(axis=0), block)
+        lo = np.minimum(stack.min(axis=0), block)
+        return hi - lo
+
+
+default_registry.register(ReliefKernel())

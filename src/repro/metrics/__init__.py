@@ -1,0 +1,17 @@
+"""Measurement utilities: traffic accounting, statistics, reporting."""
+
+from .accounting import TrafficDelta, TrafficMeter, sustained_bandwidth
+from .report import format_checks, format_series, format_table
+from .timeline import Timeline, render_gantt, utilization_table
+
+__all__ = [
+    "Timeline",
+    "TrafficDelta",
+    "TrafficMeter",
+    "format_checks",
+    "format_series",
+    "format_table",
+    "render_gantt",
+    "sustained_bandwidth",
+    "utilization_table",
+]

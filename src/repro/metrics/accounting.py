@@ -1,0 +1,84 @@
+"""Traffic accounting: classify every wire byte by the link class it
+crossed.
+
+The paper's analysis hinges on *where* bytes move: NAS loses because of
+server<->server dependent-data traffic plus the serving load it brings;
+TS pays client<->storage traffic for the whole dataset; DAS pays almost
+nothing after (amortised) redistribution.  A :class:`TrafficMeter`
+snapshots the monitor counters around a measured region and reports the
+deltas split along those lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..hw.cluster import Cluster
+
+_FLOW_PREFIX = "net.flow."
+_TAG_PREFIX = "net.tag."
+
+
+@dataclass
+class TrafficDelta:
+    """Byte movement between two snapshots, classified by link class."""
+
+    #: storage <-> compute (and compute <-> compute) bytes.
+    client_bytes: float = 0.0
+    #: storage <-> storage bytes (dependent data, replication, redistribution).
+    server_bytes: float = 0.0
+    #: Same-node loopback bytes (never on the wire).
+    loopback_bytes: float = 0.0
+    #: Bytes per transport tag (halo vs pfs vs redist vs control...).
+    by_tag: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wire_bytes(self) -> float:
+        return self.client_bytes + self.server_bytes
+
+    def tag_bytes(self, tag: str) -> float:
+        return self.by_tag.get(tag, 0.0)
+
+
+class TrafficMeter:
+    """Meters wire traffic over a region of simulated time."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.monitors = cluster.monitors
+        self._storage = set(cluster.storage_names)
+        self._before = self._snapshot()
+
+    def _snapshot(self) -> Dict[str, float]:
+        return dict(self.monitors.snapshot())
+
+    def reset(self) -> None:
+        self._before = self._snapshot()
+
+    def delta(self) -> TrafficDelta:
+        """Classified byte movement since construction (or last reset)."""
+        after = self._snapshot()
+        out = TrafficDelta()
+        for name, value in after.items():
+            moved = value - self._before.get(name, 0.0)
+            if moved <= 0:
+                continue
+            if name.startswith(_FLOW_PREFIX):
+                src, _, dst = name[len(_FLOW_PREFIX):].partition("->")
+                if src in self._storage and dst in self._storage:
+                    out.server_bytes += moved
+                else:
+                    out.client_bytes += moved
+            elif name.startswith(_TAG_PREFIX):
+                tag = name[len(_TAG_PREFIX):]
+                out.by_tag[tag] = out.by_tag.get(tag, 0.0) + moved
+            elif name == "net.loopback_bytes":
+                out.loopback_bytes += moved
+        return out
+
+
+def sustained_bandwidth(data_bytes: float, elapsed: float) -> float:
+    """The paper's Fig. 14 metric: useful dataset bytes processed per
+    second of operation time."""
+    return data_bytes / elapsed if elapsed > 0 else float("inf")

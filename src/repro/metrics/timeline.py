@@ -1,0 +1,113 @@
+"""Timeline reconstruction from the monitor trace.
+
+When a cluster is built with ``SimConfig(trace=True)``, every CPU
+kernel invocation, disk I/O and network transfer leaves a trace record.
+:class:`Timeline` turns those records into per-node busy intervals and
+utilisation numbers, and :func:`render_gantt` draws a plain-text Gantt
+chart — enough to *see* why NAS is slow (servers ping-ponging between
+serving and computing) without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.monitor import MonitorHub, TraceRecord
+
+Interval = Tuple[float, float]
+
+
+@dataclass
+class Timeline:
+    """Busy intervals per (node, resource kind)."""
+
+    #: (node, kind) -> sorted list of [start, end) busy intervals.
+    busy: Dict[Tuple[str, str], List[Interval]]
+    horizon: float
+
+    @classmethod
+    def from_monitors(cls, monitors: MonitorHub) -> "Timeline":
+        """Build from a trace-enabled monitor hub.
+
+        CPU and disk records carry their duration and are logged at
+        completion, so each becomes the interval ``[t - seconds, t)``.
+        """
+        busy: Dict[Tuple[str, str], List[Interval]] = defaultdict(list)
+        horizon = 0.0
+        for rec in monitors.trace:
+            horizon = max(horizon, rec.time)
+            if rec.category in ("cpu", "disk"):
+                node = rec.detail.split(":", 1)[0]
+                seconds = float(rec.data.get("seconds", 0.0))
+                if seconds > 0:
+                    busy[(node, rec.category)].append((rec.time - seconds, rec.time))
+        for intervals in busy.values():
+            intervals.sort()
+        return cls(busy=dict(busy), horizon=horizon)
+
+    def intervals(self, node: str, kind: str) -> List[Interval]:
+        return self.busy.get((node, kind), [])
+
+    def busy_seconds(self, node: str, kind: str) -> float:
+        """Total busy time with overlaps merged."""
+        merged = self.merged(node, kind)
+        return sum(b - a for a, b in merged)
+
+    def merged(self, node: str, kind: str) -> List[Interval]:
+        out: List[Interval] = []
+        for a, b in self.intervals(node, kind):
+            if out and a <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], b))
+            else:
+                out.append((a, b))
+        return out
+
+    def utilization(self, node: str, kind: str, horizon: float | None = None) -> float:
+        """Busy fraction of the run (or of an explicit horizon)."""
+        span = horizon if horizon is not None else self.horizon
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds(node, kind) / span)
+
+    def nodes(self) -> List[str]:
+        return sorted({node for node, _ in self.busy})
+
+
+def render_gantt(timeline: Timeline, width: int = 64) -> str:
+    """Plain-text Gantt: one row per (node, kind), '#' where busy."""
+    if timeline.horizon <= 0:
+        return "(empty timeline)"
+    lines = []
+    scale = width / timeline.horizon
+    for node in timeline.nodes():
+        for kind in ("cpu", "disk"):
+            merged = timeline.merged(node, kind)
+            if not merged:
+                continue
+            row = [" "] * width
+            for a, b in merged:
+                lo = min(width - 1, int(a * scale))
+                hi = min(width, max(lo + 1, int(b * scale + 0.5)))
+                for i in range(lo, hi):
+                    row[i] = "#"
+            lines.append(f"{node:>6s} {kind:<4s} |{''.join(row)}|")
+    return "\n".join(lines) if lines else "(no busy intervals)"
+
+
+def utilization_table(timeline: Timeline) -> List[dict]:
+    """Rows of per-node utilisation suitable for
+    :func:`repro.metrics.report.format_table`."""
+    rows = []
+    for node in timeline.nodes():
+        rows.append(
+            {
+                "node": node,
+                "cpu_util": timeline.utilization(node, "cpu"),
+                "disk_util": timeline.utilization(node, "disk"),
+                "cpu_busy_s": timeline.busy_seconds(node, "cpu"),
+                "disk_busy_s": timeline.busy_seconds(node, "disk"),
+            }
+        )
+    return rows

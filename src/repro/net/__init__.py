@@ -1,0 +1,29 @@
+"""Simulated network fabric: NICs, switch, transport and collectives."""
+
+from .collective import Collectives
+from .fabric import Fabric
+from .message import (
+    TAG_CONTROL,
+    TAG_DATA,
+    TAG_HALO,
+    TAG_RESULT,
+    TAG_RPC,
+    TAG_RPC_REPLY,
+    Message,
+)
+from .nic import NIC
+from .transport import Transport
+
+__all__ = [
+    "Collectives",
+    "Fabric",
+    "Message",
+    "NIC",
+    "TAG_CONTROL",
+    "TAG_DATA",
+    "TAG_HALO",
+    "TAG_RESULT",
+    "TAG_RPC",
+    "TAG_RPC_REPLY",
+    "Transport",
+]

@@ -1,0 +1,108 @@
+"""Switch fabric connecting the cluster's NICs (star topology).
+
+High-end clusters interconnect compute and storage partitions through a
+switched fabric whose bisection bandwidth normally exceeds any single
+NIC, so the default fabric is non-blocking (it only adds the port
+latency).  A ``flow_limit`` can be set to model an oversubscribed
+switch for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import NetworkError, RoutingError
+from ..sim import Environment, Resource
+from .fluid import FluidScheduler
+from .nic import NIC
+
+
+#: Name of the shared cross-partition link (when oversubscribed).
+BISECTION_LINK = "fabric.bisection"
+
+
+class Fabric:
+    """Registry of NICs + the fluid bandwidth scheduler they share.
+
+    Optionally models an oversubscribed switch: when a bisection
+    bandwidth is set, every flow between nodes of *different partitions*
+    (compute vs storage) additionally traverses one shared
+    :data:`BISECTION_LINK`, so cross-partition traffic contends for the
+    switch uplinks the way it does on real oversubscribed fabrics.
+    Intra-partition traffic (e.g. server-to-server halo exchange through
+    leaf switches) is unaffected.
+    """
+
+    def __init__(self, env: Environment, flow_limit: int = 0):
+        self.env = env
+        self._nics: Dict[str, NIC] = {}
+        self._partitions: Dict[str, str] = {}
+        self.fluid = FluidScheduler(env)
+        self._bisection = False
+        self._flow_limit = int(flow_limit)
+        self._flow_tokens: Optional[Resource] = (
+            Resource(env, capacity=flow_limit) if flow_limit > 0 else None
+        )
+
+    @property
+    def flow_limit(self) -> int:
+        return self._flow_limit
+
+    def attach(self, nic: NIC, partition: str = "") -> None:
+        if nic.owner in self._nics:
+            raise NetworkError(f"a NIC named {nic.owner!r} is already attached")
+        self._nics[nic.owner] = nic
+        self._partitions[nic.owner] = partition
+        self.fluid.add_link(nic.tx_link, nic.bandwidth)
+        self.fluid.add_link(nic.rx_link, nic.bandwidth)
+
+    def set_bisection_bandwidth(self, bandwidth: float) -> None:
+        """Enable the oversubscribed-switch model (0 disables it)."""
+        if self._bisection:
+            raise NetworkError("bisection bandwidth already configured")
+        if bandwidth > 0:
+            self.fluid.add_link(BISECTION_LINK, bandwidth)
+            self._bisection = True
+
+    def crosses_partitions(self, src: str, dst: str) -> bool:
+        return (
+            self._partitions.get(src, "") != self._partitions.get(dst, "")
+        )
+
+    def transfer(self, src: str, dst: str, size: float):
+        """Start a fluid flow src->dst; the returned event succeeds when
+        the bytes have drained through every link on the path."""
+        src_nic = self.nic_of(src)
+        dst_nic = self.nic_of(dst)
+        links = [src_nic.tx_link, dst_nic.rx_link]
+        if self._bisection and self.crosses_partitions(src, dst):
+            links.append(BISECTION_LINK)
+        return self.fluid.start(tuple(links), size)
+
+    def nic_of(self, node: str) -> NIC:
+        try:
+            return self._nics[node]
+        except KeyError:
+            raise RoutingError(f"no NIC attached for node {node!r}") from None
+
+    def nodes(self):
+        return list(self._nics)
+
+    def admit(self):
+        """Request a fabric flow token (or None when non-blocking)."""
+        if self._flow_tokens is None:
+            return None
+        return self._flow_tokens.request()
+
+    def release(self, token) -> None:
+        if token is not None and self._flow_tokens is not None:
+            self._flow_tokens.release(token)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nics
+
+    def __len__(self) -> int:
+        return len(self._nics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Fabric nodes={len(self._nics)} flow_limit={self._flow_limit}>"

@@ -1,0 +1,192 @@
+"""Max-min fair-share fluid network model.
+
+Every transfer is a *flow* traversing two directed link resources: the
+sender NIC's transmit side and the receiver NIC's receive side.  At any
+instant each flow progresses at the max-min fair rate determined by
+progressive filling over the links it crosses — the standard fluid
+approximation used by network simulators (SimGrid et al.).  This avoids
+the head-of-line blocking artefacts of hold-the-pipe models: twelve
+clients each reading from twelve servers saturate all twenty-four NICs
+concurrently, exactly like the real bipartite traffic pattern.
+
+Rates are recomputed whenever a flow starts or finishes; between
+recomputations every flow drains linearly, so the controller only needs
+one timer for the earliest completion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import NetworkError, SimulationError
+from ..sim import Environment, Event
+from ..sim.core import Process
+
+_EPS = 1e-6  # byte tolerance when declaring a flow drained
+
+
+class FluidLink:
+    """One direction of one NIC (or any capacity-bound pipe)."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise NetworkError(f"link {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: Set["FluidFlow"] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FluidLink {self.name} cap={self.capacity:.3g} flows={len(self.flows)}>"
+
+
+class FluidFlow:
+    """A transfer in progress."""
+
+    __slots__ = ("size", "remaining", "rate", "links", "event", "started_at")
+
+    def __init__(self, size: float, links: Tuple[FluidLink, ...], event: Event, now: float):
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.links = links
+        self.event = event
+        self.started_at = now
+
+
+class FluidScheduler:
+    """Shares link capacity among concurrent flows, max-min fairly."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._links: Dict[str, FluidLink] = {}
+        self._flows: Set[FluidFlow] = set()
+        self._last_advance = env.now
+        self._controller: Optional[Process] = None
+
+    # -- link registry ------------------------------------------------------
+    def add_link(self, name: str, capacity: float) -> FluidLink:
+        if name in self._links:
+            raise NetworkError(f"fluid link {name!r} already exists")
+        link = FluidLink(name, capacity)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> FluidLink:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise NetworkError(f"no fluid link named {name!r}") from None
+
+    # -- flow lifecycle --------------------------------------------------------
+    def start(self, link_names: Tuple[str, ...], size: float) -> Event:
+        """Begin a flow across the named links; the returned event
+        succeeds when the last byte has drained."""
+        done = self.env.event()
+        if size <= 0:
+            done.succeed()
+            return done
+        links = tuple(self._links[n] for n in link_names)
+        self._advance()
+        flow = FluidFlow(size, links, done, self.env.now)
+        self._flows.add(flow)
+        for link in links:
+            link.flows.add(flow)
+        self._recompute()
+        self._kick_controller()
+        return done
+
+    # -- fluid mechanics ------------------------------------------------------------
+    def _advance(self) -> None:
+        """Drain every flow at its current rate up to `now`."""
+        now = self.env.now
+        dt = now - self._last_advance
+        if dt > 0:
+            for flow in self._flows:
+                flow.remaining -= flow.rate * dt
+        self._last_advance = now
+
+    def _recompute(self) -> None:
+        """Progressive filling: repeatedly saturate the tightest link."""
+        for flow in self._flows:
+            flow.rate = 0.0
+        residual = {link: link.capacity for link in self._active_links()}
+        pending: Dict[FluidLink, Set[FluidFlow]] = {
+            link: set(link.flows) for link in residual
+        }
+        unassigned = set(self._flows)
+        while unassigned:
+            bottleneck = None
+            share = float("inf")
+            for link, flows in pending.items():
+                if not flows:
+                    continue
+                s = residual[link] / len(flows)
+                if s < share:
+                    share, bottleneck = s, link
+            if bottleneck is None:
+                raise SimulationError("flows exist but no link carries them")
+            for flow in list(pending[bottleneck]):
+                flow.rate = share
+                unassigned.discard(flow)
+                for link in flow.links:
+                    residual[link] -= share
+                    pending[link].discard(flow)
+
+    def _active_links(self) -> List[FluidLink]:
+        seen: Set[FluidLink] = set()
+        for flow in self._flows:
+            seen.update(flow.links)
+        return list(seen)
+
+    def _next_completion(self) -> float:
+        """Seconds until the earliest flow drains at current rates."""
+        best = float("inf")
+        for flow in self._flows:
+            if flow.rate > 0:
+                best = min(best, max(0.0, flow.remaining) / flow.rate)
+        return best
+
+    # -- controller ---------------------------------------------------------------------
+    def _kick_controller(self) -> None:
+        if self._controller is None or not self._controller.is_alive:
+            self._controller = self.env.process(
+                self._run_controller(), name="fluid-controller"
+            )
+        else:
+            self._controller.interrupt("flows-changed")
+
+    def _run_controller(self):
+        while True:
+            if not self._flows:
+                return  # a fresh controller is spawned on the next start()
+            delay = self._next_completion()
+            if delay == float("inf"):
+                raise SimulationError("active flows with zero aggregate rate")
+            try:
+                yield self.env.timeout(delay)
+            except Exception:
+                # Interrupted: flow set changed; rates already recomputed.
+                self._advance()
+                continue
+            self._advance()
+            finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.size)]
+            for flow in finished:
+                self._flows.discard(flow)
+                for link in flow.links:
+                    link.flows.discard(flow)
+                flow.event.succeed()
+            if finished:
+                self._recompute()
+
+    # -- introspection (tests, monitors) ---------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def link_utilization(self, name: str) -> float:
+        """Fraction of a link's capacity currently allocated."""
+        link = self.link(name)
+        used = sum(f.rate for f in link.flows)
+        return used / link.capacity if link.capacity else 0.0

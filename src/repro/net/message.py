@@ -1,0 +1,47 @@
+"""Message envelope used by the simulated transport layer."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Well-known message tags (mirroring the MPI habit of tagging traffic
+#: classes so receivers can select what they wait for).
+TAG_DATA = "data"
+TAG_RPC = "rpc"
+TAG_RPC_REPLY = "rpc-reply"
+TAG_HALO = "halo"
+TAG_RESULT = "result"
+TAG_CONTROL = "control"
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One simulated network message.
+
+    ``size`` is the on-wire byte count used for transfer timing and
+    bandwidth accounting; ``payload`` is the real Python object carried
+    for functional correctness (e.g. a NumPy halo block).  The two are
+    deliberately decoupled: the simulation charges the bytes the real
+    system would have moved, not ``sys.getsizeof`` of the payload.
+    """
+
+    src: str
+    dst: str
+    size: float
+    tag: str = TAG_DATA
+    payload: Any = None
+    #: Correlates an RPC reply with its request.
+    reply_to: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: Simulated send timestamp, stamped by the transport.
+    sent_at: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} tag={self.tag}"
+            f" size={self.size:.0f}B>"
+        )

@@ -1,0 +1,70 @@
+"""Network interface model.
+
+Each node owns one :class:`NIC` with independent transmit and receive
+sides (full duplex).  Both sides are registered as links in the
+fabric's max-min fluid scheduler (:mod:`repro.net.fluid`): concurrent
+flows through a side share its bandwidth fairly, so a storage server
+that must simultaneously stream results to clients and serve peers'
+dependent-data requests sees exactly the contention the paper's NAS
+analysis describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Environment
+    from ..sim.monitor import MonitorHub
+    from .fluid import FluidLink, FluidScheduler
+
+
+class NIC:
+    """Full-duplex network interface with per-direction bandwidth."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        owner: str,
+        bandwidth: float,
+        latency: float,
+        monitors: "MonitorHub",
+    ):
+        if bandwidth <= 0:
+            raise NetworkError(f"NIC bandwidth must be positive, got {bandwidth!r}")
+        if latency < 0:
+            raise NetworkError(f"NIC latency must be >= 0, got {latency!r}")
+        self.env = env
+        self.owner = owner
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.monitors = monitors
+        self._up = True
+        # Link names in the fabric's fluid scheduler; registered by the
+        # fabric when the NIC is attached.
+        self.tx_link = f"{owner}.tx"
+        self.rx_link = f"{owner}.rx"
+
+    # -- failure injection ---------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def bring_down(self) -> None:
+        self._up = False
+
+    def bring_up(self) -> None:
+        self._up = True
+
+    # -- accounting ------------------------------------------------------------
+    def account_tx(self, size: float) -> None:
+        self.monitors.counter(f"net.tx.{self.owner}").add(size)
+        self.monitors.counter("net.bytes_total").add(size)
+
+    def account_rx(self, size: float) -> None:
+        self.monitors.counter(f"net.rx.{self.owner}").add(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NIC {self.owner} bw={self.bandwidth:.3g}B/s>"

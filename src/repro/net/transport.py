@@ -1,0 +1,158 @@
+"""Point-to-point messaging over the simulated fabric.
+
+The API shape deliberately mirrors mpi4py's send/recv with tags: a
+process calls ``yield transport.send(...)`` to block until the message
+is on the destination's mailbox, and ``yield transport.recv(...)`` to
+block until a matching message arrives.  An RPC convenience couples a
+request with a tagged reply, which is how the active-storage client
+talks to the AS helper processes on the storage servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import NodeDownError
+from ..sim import Environment, FilterStore
+from ..sim.monitor import MonitorHub
+from .fabric import Fabric
+from .message import TAG_DATA, TAG_RPC, TAG_RPC_REPLY, Message
+
+
+class Transport:
+    """Delivers :class:`Message` objects between nodes with timing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        monitors: MonitorHub,
+        rpc_overhead: float = 0.0,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.monitors = monitors
+        self.rpc_overhead = float(rpc_overhead)
+        self._mailboxes: dict[str, FilterStore] = {}
+
+    def mailbox(self, node: str) -> FilterStore:
+        box = self._mailboxes.get(node)
+        if box is None:
+            box = FilterStore(self.env)
+            self._mailboxes[node] = box
+        return box
+
+    # -- sending ---------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        payload: Any = None,
+        tag: str = TAG_DATA,
+        reply_to: Optional[int] = None,
+    ):
+        """Start a transfer; returns a Process event that completes (with
+        the delivered :class:`Message`) once the bytes are on ``dst``'s
+        mailbox.  ``yield`` it to block, or fire-and-forget it."""
+        msg = Message(
+            src=src, dst=dst, size=float(size), tag=tag, payload=payload, reply_to=reply_to
+        )
+        return self.env.process(self._send_proc(msg), name=f"send:{src}->{dst}:{tag}")
+
+    def _send_proc(self, msg: Message):
+        msg.sent_at = self.env.now
+        if msg.src == msg.dst:
+            # Loopback: no NIC traversal, no wire bytes.
+            self.monitors.counter("net.loopback_bytes").add(msg.size)
+            yield self.mailbox(msg.dst).put(msg)
+            return msg
+
+        src_nic = self.fabric.nic_of(msg.src)
+        dst_nic = self.fabric.nic_of(msg.dst)
+        if not dst_nic.is_up:
+            raise NodeDownError(f"destination node {msg.dst!r} is down")
+        if not src_nic.is_up:
+            raise NodeDownError(f"source node {msg.src!r} is down")
+
+        flow_token = self.fabric.admit()
+        try:
+            if flow_token is not None:
+                yield flow_token
+            yield self.env.timeout(src_nic.latency)
+            if not dst_nic.is_up:  # went down while the head was in flight
+                raise NodeDownError(f"destination node {msg.dst!r} is down")
+            yield self.fabric.transfer(msg.src, msg.dst, msg.size)
+        finally:
+            self.fabric.release(flow_token)
+
+        src_nic.account_tx(msg.size)
+        dst_nic.account_rx(msg.size)
+        self.monitors.counter(f"net.flow.{msg.src}->{msg.dst}").add(msg.size)
+        self.monitors.counter(f"net.tag.{msg.tag}").add(msg.size)
+        self.monitors.log("net", f"{msg.src}->{msg.dst}", size=msg.size, tag=msg.tag)
+        yield self.mailbox(msg.dst).put(msg)
+        return msg
+
+    # -- receiving ---------------------------------------------------------------
+    def recv(
+        self,
+        node: str,
+        tag: Optional[str] = None,
+        match: Optional[Callable[[Message], bool]] = None,
+    ):
+        """An event yielding the next mailbox message that matches
+        ``tag`` (if given) and ``match`` (if given)."""
+
+        def predicate(msg: Message) -> bool:
+            if tag is not None and msg.tag != tag:
+                return False
+            if match is not None and not match(msg):
+                return False
+            return True
+
+        return self.mailbox(node).get(predicate)
+
+    # -- RPC ------------------------------------------------------------------------
+    def call(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        request_size: float,
+        tag: str = TAG_RPC,
+    ):
+        """Request/response round trip; returns a Process event whose
+        value is the reply :class:`Message`."""
+        return self.env.process(
+            self._call_proc(src, dst, payload, request_size, tag),
+            name=f"rpc:{src}->{dst}",
+        )
+
+    def _call_proc(self, src: str, dst: str, payload: Any, request_size: float, tag: str):
+        sent = yield self.send(src, dst, request_size, payload, tag=tag)
+        reply = yield self.recv(
+            src, tag=TAG_RPC_REPLY, match=lambda m: m.reply_to == sent.msg_id
+        )
+        return reply
+
+    def reply(self, request: Message, payload: Any, size: float):
+        """Send an RPC reply correlated to ``request``; adds the
+        configured per-RPC software overhead before the wire transfer."""
+        return self.env.process(
+            self._reply_proc(request, payload, size),
+            name=f"reply:{request.dst}->{request.src}",
+        )
+
+    def _reply_proc(self, request: Message, payload: Any, size: float):
+        if self.rpc_overhead:
+            yield self.env.timeout(self.rpc_overhead)
+        msg = yield self.send(
+            request.dst,
+            request.src,
+            size,
+            payload,
+            tag=TAG_RPC_REPLY,
+            reply_to=request.msg_id,
+        )
+        return msg

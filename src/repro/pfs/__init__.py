@@ -1,0 +1,32 @@
+"""Simulated parallel file system (PVFS2-like, per the paper)."""
+
+from .client import PFSClient
+from .datafile import FileMeta
+from .dataserver import TAG_PFS, DataServer, ReadPiece, WritePiece
+from .distribution import TAG_REDIST, Redistributor, plan_moves, planned_bytes
+from .filesystem import ParallelFileSystem
+from .layout import GroupedLayout, Layout, RoundRobinLayout, StripExtent
+from .localio import LocalFile
+from .metadata import MetadataService
+from .replicated import ReplicatedGroupedLayout
+
+__all__ = [
+    "DataServer",
+    "FileMeta",
+    "GroupedLayout",
+    "Layout",
+    "LocalFile",
+    "MetadataService",
+    "PFSClient",
+    "ParallelFileSystem",
+    "ReadPiece",
+    "Redistributor",
+    "ReplicatedGroupedLayout",
+    "RoundRobinLayout",
+    "StripExtent",
+    "TAG_PFS",
+    "TAG_REDIST",
+    "plan_moves",
+    "planned_bytes",
+    "WritePiece",
+]

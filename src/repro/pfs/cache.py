@@ -1,0 +1,97 @@
+"""Server-side strip cache (page-cache model).
+
+Real parallel-file-system servers serve hot strips from memory; only
+cold reads touch the disk.  :class:`StripCache` is a byte-budgeted LRU
+over strip identifiers — it tracks *which strips are memory-resident*,
+not their contents (the data servers already hold the real bytes; the
+cache only decides whether an access costs disk time).
+
+Disabled by default (budget 0) so the calibrated experiment timings are
+unaffected; the cache ablation enables it explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+from ..errors import PFSError
+
+Key = Tuple[str, int]  # (file name, strip index)
+
+
+class StripCache:
+    """Byte-budgeted LRU of memory-resident strips."""
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes < 0:
+            raise PFSError(f"cache budget must be >= 0, got {budget_bytes!r}")
+        self.budget = int(budget_bytes)
+        self._resident: "OrderedDict[Key, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget > 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def lookup(self, key: Key) -> bool:
+        """True (and refresh recency) iff the strip is resident.
+
+        Counts a hit/miss either way; callers charge disk time on miss.
+        """
+        if not self.enabled:
+            return False
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: Key, size: int) -> None:
+        """Make a strip resident, evicting LRU strips to fit.
+
+        A strip larger than the whole budget is not cached.
+        """
+        if not self.enabled or size > self.budget:
+            return
+        if key in self._resident:
+            self._used -= self._resident.pop(key)
+        while self._used + size > self.budget and self._resident:
+            _, evicted = self._resident.popitem(last=False)
+            self._used -= evicted
+        self._resident[key] = size
+        self._used += size
+
+    def invalidate(self, key: Key) -> None:
+        if key in self._resident:
+            self._used -= self._resident.pop(key)
+
+    def invalidate_file(self, file: str) -> int:
+        victims = [k for k in self._resident if k[0] == file]
+        for k in victims:
+            self.invalidate(k)
+        return len(victims)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._resident
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StripCache {self._used}/{self.budget} B"
+            f" strips={len(self._resident)} hit_rate={self.hit_rate:.0%}>"
+        )

@@ -1,0 +1,312 @@
+"""PFS client: striped reads and writes from a (compute) node.
+
+Mirrors the split in the paper's Fig. 2: normal I/O goes through this
+client, which scatters/gathers byte ranges across the data servers
+according to the file's layout.  All data-path traffic is simulated
+(request + reply messages, disk I/O on the servers); the *setup* path
+(:meth:`ingest`) and the *verification* path (:meth:`collect`) place
+and read bytes instantly, because experiments measure the operation
+under test, not the initial population of the file system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LayoutError, PFSError
+from ..hw.cluster import Cluster
+from .dataserver import (
+    TAG_PFS,
+    DataServer,
+    ReadPiece,
+    WritePiece,
+    request_wire_size,
+)
+from .datafile import FileMeta
+from .layout import Layout, StripExtent
+from .metadata import MetadataService
+
+
+class PFSClient:
+    """A client endpoint bound to one node (usually a compute node)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metadata: MetadataService,
+        servers: Dict[str, DataServer],
+        home: str,
+    ):
+        if home not in cluster.fabric:
+            raise PFSError(f"client home node {home!r} is not in the cluster")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.transport = cluster.transport
+        self.metadata = metadata
+        self.servers = servers
+        self.home = home
+
+    # -- instant (untimed) setup & verification paths --------------------------
+    def ingest(
+        self,
+        name: str,
+        array: np.ndarray,
+        layout: Layout,
+        shape: Optional[Tuple[int, int]] = None,
+        **attrs,
+    ) -> FileMeta:
+        """Create a file and place its strips (and replicas) instantly."""
+        data = np.ascontiguousarray(array)
+        raw = data.view(np.uint8).reshape(-1)
+        if layout.strip_size % data.dtype.itemsize != 0:
+            raise LayoutError(
+                f"strip size {layout.strip_size} is not a multiple of the"
+                f" element size {data.dtype.itemsize}"
+            )
+        if shape is None and data.ndim == 2:
+            shape = data.shape  # type: ignore[assignment]
+        meta = self.metadata.create(
+            name, raw.nbytes, layout, dtype=data.dtype, shape=shape, **attrs
+        )
+        for strip in range(layout.n_strips(raw.nbytes)):
+            lo = strip * layout.strip_size
+            hi = min(lo + layout.strip_size, raw.nbytes)
+            piece = raw[lo:hi]
+            for server in layout.replicas(strip):
+                self._server(server).preload(name, strip, piece)
+        return meta
+
+    def collect(self, name: str) -> np.ndarray:
+        """Assemble the full file contents instantly (verification aid).
+
+        Returns an array of the file's dtype, reshaped to its raster
+        shape when one is recorded.
+        """
+        meta = self.metadata.lookup(name)
+        raw = np.empty(meta.size, dtype=np.uint8)
+        for strip in range(meta.layout.n_strips(meta.size)):
+            lo = strip * meta.layout.strip_size
+            piece = self._server(meta.layout.primary_server(strip)).strip_bytes(
+                name, strip
+            )
+            raw[lo : lo + piece.nbytes] = piece
+        out = raw.view(meta.dtype)
+        if meta.shape is not None:
+            out = out.reshape(meta.shape)
+        return out
+
+    def verify_replicas(self, name: str) -> bool:
+        """True iff every replica strip is byte-identical to its primary."""
+        meta = self.metadata.lookup(name)
+        for strip in range(meta.layout.n_strips(meta.size)):
+            replicas = meta.layout.replicas(strip)
+            primary = self._server(replicas[0]).strip_bytes(name, strip)
+            for server in replicas[1:]:
+                if not np.array_equal(
+                    primary, self._server(server).strip_bytes(name, strip)
+                ):
+                    return False
+        return True
+
+    # -- timed data path -----------------------------------------------------------
+    def read(self, name: str, offset: int, length: int):
+        """Process: read ``length`` bytes at ``offset``; value is uint8[length]."""
+        return self.env.process(
+            self._read(name, offset, length), name=f"pfs-read:{self.home}"
+        )
+
+    def _read(self, name: str, offset: int, length: int):
+        out = yield from self._read_scattered(name, [(offset, length)])
+        return out
+
+    def read_scattered(self, name: str, ranges):
+        """Process: read several (offset, length) byte ranges in one
+        batched exchange (one request per touched server); value is the
+        concatenation of the ranges, uint8."""
+        return self.env.process(
+            self._read_scattered(name, list(ranges)),
+            name=f"pfs-read-scattered:{self.home}",
+        )
+
+    def _read_scattered(self, name: str, ranges):
+        meta = self.metadata.lookup(name)
+        total = 0
+        positioned = []  # (output position, StripExtent)
+        for offset, length in ranges:
+            if offset < 0 or offset + length > meta.size:
+                raise PFSError(
+                    f"read past EOF of {name!r}: ({offset}, {length})"
+                    f" vs size {meta.size}"
+                )
+            for e in meta.layout.map_extent(offset, length):
+                if not self.cluster.node(e.server).is_up:
+                    e = self._failover(meta.layout, e)
+                positioned.append((total + (e.offset - offset), e))
+            total += length
+
+        by_server: Dict[str, list] = {}
+        for pos, e in positioned:
+            by_server.setdefault(e.server, []).append((pos, e))
+
+        calls = {}
+        for server, group in by_server.items():
+            pieces = [ReadPiece(e.strip, e.in_strip, e.length) for _, e in group]
+            calls[server] = (
+                group,
+                self.transport.call(
+                    self.home,
+                    server,
+                    {"op": "read", "file": name, "pieces": pieces},
+                    request_wire_size(len(pieces)),
+                    tag=TAG_PFS,
+                ),
+            )
+
+        out = np.empty(total, dtype=np.uint8)
+        for server, (group, call) in calls.items():
+            reply = yield call
+            data = reply.payload
+            cursor = 0
+            for pos, e in group:
+                out[pos : pos + e.length] = data[cursor : cursor + e.length]
+                cursor += e.length
+        return out
+
+    def read_region(self, name: str, row0: int, col0: int, n_rows: int, n_cols: int):
+        """Process: read a rectangular sub-raster; value is a 2-D array
+        of the file's dtype with shape ``(n_rows, n_cols)``.
+
+        The GIS access pattern: a map window touches a slice of every
+        covered row.  All row segments go out as one batched scattered
+        read, not ``n_rows`` separate requests."""
+        return self.env.process(
+            self._read_region(name, row0, col0, n_rows, n_cols),
+            name=f"pfs-read-region:{self.home}",
+        )
+
+    def _read_region(self, name: str, row0: int, col0: int, n_rows: int, n_cols: int):
+        meta = self.metadata.lookup(name)
+        width = meta.width  # raises if the file has no raster shape
+        height = meta.shape[0]  # type: ignore[index]
+        if not (
+            0 <= row0 and row0 + n_rows <= height and 0 <= col0
+            and col0 + n_cols <= width and n_rows > 0 and n_cols > 0
+        ):
+            raise PFSError(
+                f"region ({row0},{col0})+({n_rows}x{n_cols}) outside raster"
+                f" {meta.shape} of {name!r}"
+            )
+        e_size = meta.element_size
+        ranges = [
+            (((row0 + r) * width + col0) * e_size, n_cols * e_size)
+            for r in range(n_rows)
+        ]
+        raw = yield from self._read_scattered(name, ranges)
+        return raw.view(meta.dtype).reshape(n_rows, n_cols)
+
+    def read_elems(self, name: str, first: int, count: int):
+        """Process: read ``count`` elements from element index ``first``;
+        value is an array of the file's dtype."""
+        return self.env.process(
+            self._read_elems(name, first, count), name=f"pfs-read-elems:{self.home}"
+        )
+
+    def _read_elems(self, name: str, first: int, count: int):
+        meta = self.metadata.lookup(name)
+        offset, length = meta.elem_range_bytes(first, count)
+        raw = yield self.read(name, offset, length)
+        return raw.view(meta.dtype)
+
+    def write(self, name: str, offset: int, data: np.ndarray):
+        """Process: write ``data`` (any dtype) at byte ``offset``.
+
+        Replicated strips are written on every holding server, keeping
+        replicas consistent (the paper's DAS layout maintains copies on
+        the neighbouring servers)."""
+        return self.env.process(
+            self._write(name, offset, data), name=f"pfs-write:{self.home}"
+        )
+
+    def _write(self, name: str, offset: int, data: np.ndarray):
+        meta = self.metadata.lookup(name)
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset + raw.nbytes > meta.size:
+            raise PFSError(
+                f"write past EOF of {name!r}: {offset}+{raw.nbytes} > {meta.size}"
+            )
+        extents = meta.layout.map_extent(offset, raw.nbytes)
+
+        # Fan each extent out to every replica of its strip.
+        by_server: Dict[str, List[StripExtent]] = {}
+        for e in extents:
+            for server in meta.layout.replicas(e.strip):
+                by_server.setdefault(server, []).append(e)
+
+        calls = []
+        for server, group in by_server.items():
+            pieces = [
+                WritePiece(
+                    e.strip,
+                    e.in_strip,
+                    raw[e.offset - offset : e.offset - offset + e.length],
+                )
+                for e in group
+            ]
+            payload_bytes = sum(p.data.nbytes for p in pieces)
+            calls.append(
+                self.transport.call(
+                    self.home,
+                    server,
+                    {"op": "write", "file": name, "pieces": pieces},
+                    request_wire_size(len(pieces)) + payload_bytes,
+                    tag=TAG_PFS,
+                )
+            )
+        for call in calls:
+            yield call
+        return raw.nbytes
+
+    def write_elems(self, name: str, first: int, data: np.ndarray):
+        """Process: write elements starting at element index ``first``."""
+        meta = self.metadata.lookup(name)
+        if np.dtype(data.dtype) != meta.dtype:
+            raise PFSError(
+                f"dtype mismatch writing {name!r}: {data.dtype} != {meta.dtype}"
+            )
+        return self.write(name, first * meta.element_size, data)
+
+    # -- degraded-mode read path -------------------------------------------------
+    def _failover(self, layout: Layout, extent: StripExtent) -> StripExtent:
+        """Redirect an extent whose holder is down to a live replica.
+
+        The DAS layout's boundary replication doubles as limited fault
+        tolerance: reads of replicated strips survive the primary's
+        failure.  Unreplicated strips have nowhere to go.
+        """
+        from dataclasses import replace as _replace
+
+        from ..errors import NodeDownError
+
+        for candidate in layout.replicas(extent.strip):
+            if candidate != extent.server and self.cluster.node(candidate).is_up:
+                return _replace(extent, server=candidate)
+        raise NodeDownError(
+            f"strip {extent.strip} unreachable: holder {extent.server!r} is down"
+            " and no live replica exists"
+        )
+
+    # -- helpers ------------------------------------------------------------------------
+    def _server(self, name: str) -> DataServer:
+        try:
+            return self.servers[name]
+        except KeyError:
+            raise PFSError(f"no data server on node {name!r}") from None
+
+    @staticmethod
+    def _group_extents(extents: List[StripExtent]) -> Dict[str, List[StripExtent]]:
+        grouped: Dict[str, List[StripExtent]] = {}
+        for e in extents:
+            grouped.setdefault(e.server, []).append(e)
+        return grouped

@@ -1,0 +1,213 @@
+"""Data server: the per-storage-node strip store and its request loop.
+
+Each storage node runs one :class:`DataServer`.  It owns the *real
+bytes* of every strip placed on the node (primary copies and DAS
+replicas alike), serves read/write RPCs arriving over the fabric, and
+exposes a direct local-access path with disk timing for co-located
+components (the active-storage helper reads its strips through
+:class:`~repro.pfs.localio.LocalFile`, never through the network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import PFSError, StripMissingError
+from ..hw.node import Node
+from ..net.message import Message
+from ..net.transport import Transport
+from .cache import StripCache
+from .metadata import MetadataService
+
+#: Transport tag carrying PFS data-path traffic.
+TAG_PFS = "pfs"
+
+#: Fixed per-request wire overhead (headers), plus per-extent descriptor.
+REQUEST_HEADER_BYTES = 128
+EXTENT_DESC_BYTES = 32
+ACK_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ReadPiece:
+    """A read of ``length`` bytes at ``in_strip`` within ``strip``."""
+
+    strip: int
+    in_strip: int
+    length: int
+
+
+@dataclass
+class WritePiece:
+    """A write of ``data`` at ``in_strip`` within ``strip``."""
+
+    strip: int
+    in_strip: int
+    data: np.ndarray
+
+
+def request_wire_size(n_extents: int) -> int:
+    """On-wire size of a read/write request header."""
+    return REQUEST_HEADER_BYTES + EXTENT_DESC_BYTES * n_extents
+
+
+class DataServer:
+    """Strip store + request service for one storage node."""
+
+    def __init__(
+        self,
+        node: Node,
+        transport: Transport,
+        metadata: MetadataService,
+    ):
+        if not node.is_storage or node.disk is None:
+            raise PFSError(f"data server requires a storage node, got {node.name!r}")
+        self.node = node
+        self.env = node.env
+        self.transport = transport
+        self.metadata = metadata
+        self.monitors = node.monitors
+        self._strips: Dict[Tuple[str, int], np.ndarray] = {}
+        self.cache = StripCache(node.spec.server_cache_bytes)
+        self._service_proc = self.env.process(self._serve(), name=f"pfs-server:{node.name}")
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    # -- strip store -------------------------------------------------------------
+    def preload(self, file: str, strip: int, data: np.ndarray) -> None:
+        """Place strip bytes instantly (experiment setup, not timed)."""
+        self._strips[(file, strip)] = np.asarray(data, dtype=np.uint8).copy()
+
+    def has_strip(self, file: str, strip: int) -> bool:
+        return (file, strip) in self._strips
+
+    def strip_bytes(self, file: str, strip: int) -> np.ndarray:
+        try:
+            return self._strips[(file, strip)]
+        except KeyError:
+            raise StripMissingError(
+                f"server {self.name!r} does not hold strip {strip} of {file!r}"
+            ) from None
+
+    def drop_strip(self, file: str, strip: int) -> np.ndarray:
+        """Remove (and return) a strip — used during redistribution."""
+        data = self.strip_bytes(file, strip)
+        del self._strips[(file, strip)]
+        self.cache.invalidate((file, strip))
+        return data
+
+    def drop_file(self, file: str) -> int:
+        """Remove all strips of ``file``; returns the count removed."""
+        keys = [k for k in self._strips if k[0] == file]
+        for k in keys:
+            del self._strips[k]
+        self.cache.invalidate_file(file)
+        return len(keys)
+
+    def held_strips(self, file: str) -> List[int]:
+        return sorted(s for (f, s) in self._strips if f == file)
+
+    def stored_bytes(self) -> int:
+        return sum(a.nbytes for a in self._strips.values())
+
+    def _strip_array(self, file: str, strip: int) -> np.ndarray:
+        """The strip's byte array, allocating zeros on first write."""
+        key = (file, strip)
+        arr = self._strips.get(key)
+        if arr is None:
+            meta = self.metadata.lookup(file)
+            length = meta.layout.strip_extent_bytes(strip, meta.size)
+            if length <= 0:
+                raise PFSError(f"strip {strip} is beyond EOF of {file!r}")
+            arr = np.zeros(length, dtype=np.uint8)
+            self._strips[key] = arr
+        return arr
+
+    # -- timed local I/O (direct path for co-located components) ----------------
+    def read_pieces(self, file: str, pieces: List[ReadPiece]):
+        """Process: disk-read the pieces; value is the concatenated bytes."""
+        return self.env.process(self._read_pieces(file, pieces), name=f"dsr:{self.name}")
+
+    def _read_pieces(self, file: str, pieces: List[ReadPiece]):
+        total = sum(p.length for p in pieces)
+        assert self.node.disk is not None
+        # Page-cache model: bytes in cached strips skip the disk.
+        cold = total
+        if self.cache.enabled:
+            cold = 0
+            for p in pieces:
+                if self.cache.lookup((file, p.strip)):
+                    continue
+                cold += p.length
+                self.cache.insert(
+                    (file, p.strip), self.strip_bytes(file, p.strip).nbytes
+                )
+            self.monitors.counter(f"pfs.cache_hit_bytes.{self.name}").add(total - cold)
+        if cold:
+            yield self.node.disk.read(cold)
+        out = np.empty(total, dtype=np.uint8)
+        pos = 0
+        for p in pieces:
+            strip = self.strip_bytes(file, p.strip)
+            if p.in_strip + p.length > strip.nbytes:
+                raise PFSError(
+                    f"read past strip end: strip {p.strip} of {file!r}"
+                    f" ({p.in_strip}+{p.length} > {strip.nbytes})"
+                )
+            out[pos : pos + p.length] = strip[p.in_strip : p.in_strip + p.length]
+            pos += p.length
+        return out
+
+    def write_pieces(self, file: str, pieces: List[WritePiece]):
+        """Process: disk-write the pieces into the strip store."""
+        return self.env.process(self._write_pieces(file, pieces), name=f"dsw:{self.name}")
+
+    def _write_pieces(self, file: str, pieces: List[WritePiece]):
+        total = sum(p.data.nbytes for p in pieces)
+        assert self.node.disk is not None
+        yield self.node.disk.write(total)
+        if self.cache.enabled:
+            # Write-through: freshly written strips are memory-resident.
+            for p in pieces:
+                arr = self._strip_array(file, p.strip)
+                self.cache.insert((file, p.strip), arr.nbytes)
+        for p in pieces:
+            arr = self._strip_array(file, p.strip)
+            data = np.asarray(p.data, dtype=np.uint8)
+            if p.in_strip + data.nbytes > arr.nbytes:
+                raise PFSError(
+                    f"write past strip end: strip {p.strip} of {file!r}"
+                    f" ({p.in_strip}+{data.nbytes} > {arr.nbytes})"
+                )
+            arr[p.in_strip : p.in_strip + data.nbytes] = data
+        return total
+
+    # -- network request service ----------------------------------------------------
+    def _serve(self):
+        while True:
+            msg = yield self.transport.recv(self.name, tag=TAG_PFS)
+            self.env.process(self._handle(msg), name=f"pfs-handle:{self.name}")
+
+    def _handle(self, msg: Message):
+        request = msg.payload
+        op = request.get("op")
+        # Per-request control-plane work on the node's engine: this is
+        # the load the paper attributes to "serving the requests from
+        # other storage nodes".
+        yield self.node.cpu.service(self.node.spec.rpc_overhead, f"pfs-{op}")
+        if op == "read":
+            data = yield self.read_pieces(request["file"], request["pieces"])
+            yield self.transport.reply(msg, data, data.nbytes)
+        elif op == "write":
+            total = yield self.write_pieces(request["file"], request["pieces"])
+            yield self.transport.reply(msg, {"written": total}, ACK_BYTES)
+        else:
+            raise PFSError(f"unknown PFS op {op!r} from {msg.src!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DataServer {self.name} strips={len(self._strips)}>"

@@ -1,0 +1,80 @@
+"""Facade tying the PFS pieces together for one cluster.
+
+Construct one :class:`ParallelFileSystem` per cluster; it spins up a
+:class:`~repro.pfs.dataserver.DataServer` on every storage node, owns
+the shared :class:`~repro.pfs.metadata.MetadataService`, and hands out
+clients, server-local file views and the redistribution engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import PFSError
+from ..hw.cluster import Cluster
+from .client import PFSClient
+from .dataserver import DataServer
+from .distribution import Redistributor
+from .layout import GroupedLayout, Layout, RoundRobinLayout
+from .localio import LocalFile
+from .metadata import MetadataService
+from .replicated import ReplicatedGroupedLayout
+
+
+class ParallelFileSystem:
+    """One PFS instance over a cluster's storage nodes."""
+
+    def __init__(self, cluster: Cluster, strip_size: Optional[int] = None):
+        if not cluster.storage_nodes:
+            raise PFSError("cluster has no storage nodes")
+        self.cluster = cluster
+        self.strip_size = int(strip_size or cluster.sim_config.strip_size)
+        self.metadata = MetadataService()
+        self.servers: Dict[str, DataServer] = {
+            node.name: DataServer(node, cluster.transport, self.metadata)
+            for node in cluster.storage_nodes
+        }
+        self.redistributor = Redistributor(cluster, self.metadata, self.servers)
+        self._clients: Dict[str, PFSClient] = {}
+
+    @property
+    def server_names(self):
+        return list(self.servers)
+
+    def client(self, home: str) -> PFSClient:
+        """The PFS client endpoint on node ``home`` (cached)."""
+        client = self._clients.get(home)
+        if client is None:
+            client = PFSClient(self.cluster, self.metadata, self.servers, home)
+            self._clients[home] = client
+        return client
+
+    def local_file(self, server: str, name: str) -> LocalFile:
+        """Server-local view of ``name`` on storage node ``server``."""
+        try:
+            ds = self.servers[server]
+        except KeyError:
+            raise PFSError(f"no data server on node {server!r}") from None
+        return LocalFile(ds, self.metadata.lookup(name))
+
+    # -- layout factories bound to this PFS's servers & strip size -----------
+    def round_robin(self) -> RoundRobinLayout:
+        return RoundRobinLayout(self.server_names, self.strip_size)
+
+    def grouped(self, group: int) -> GroupedLayout:
+        return GroupedLayout(self.server_names, self.strip_size, group)
+
+    def replicated_grouped(self, group: int, halo_strips: int = 1) -> ReplicatedGroupedLayout:
+        return ReplicatedGroupedLayout(
+            self.server_names, self.strip_size, group, halo_strips
+        )
+
+    def stored_bytes(self) -> int:
+        """Total bytes resident across all data servers (replicas included)."""
+        return sum(s.stored_bytes() for s in self.servers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ParallelFileSystem servers={len(self.servers)}"
+            f" strip_size={self.strip_size} files={len(self.metadata)}>"
+        )

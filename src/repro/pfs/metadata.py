@@ -1,0 +1,71 @@
+"""Metadata service: the PFS namespace.
+
+Tracks every file's size, striping layout and raster geometry.  As in
+the paper, metadata operations are not on the critical path of the
+evaluated operations (data transfers dwarf them), so lookups are
+functional calls without simulated cost; the *data* path is fully
+simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FileExistsInPFS, FileNotFoundInPFS
+from .datafile import FileMeta
+from .layout import Layout
+
+
+class MetadataService:
+    """The namespace: file name -> :class:`FileMeta`."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileMeta] = {}
+
+    def create(
+        self,
+        name: str,
+        size: int,
+        layout: Layout,
+        dtype=np.float64,
+        shape: Optional[Tuple[int, int]] = None,
+        **attrs,
+    ) -> FileMeta:
+        if name in self._files:
+            raise FileExistsInPFS(f"file {name!r} already exists")
+        meta = FileMeta(
+            name=name, size=size, layout=layout, dtype=np.dtype(dtype), shape=shape,
+            attrs=dict(attrs),
+        )
+        self._files[name] = meta
+        return meta
+
+    def lookup(self, name: str) -> FileMeta:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundInPFS(f"no such file {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def unlink(self, name: str) -> FileMeta:
+        try:
+            return self._files.pop(name)
+        except KeyError:
+            raise FileNotFoundInPFS(f"no such file {name!r}") from None
+
+    def set_layout(self, name: str, layout: Layout) -> None:
+        """Swap a file's layout record (used after redistribution)."""
+        self.lookup(name).layout = layout
+
+    def listing(self) -> List[str]:
+        return sorted(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files

@@ -1,0 +1,22 @@
+"""The paper's three evaluation schemes: TS, NAS and DAS."""
+
+from .base import Scheme, SchemeResult
+from .das import DynamicActiveStorageScheme
+from .nas import NormalActiveStorageScheme
+from .traditional import TraditionalScheme
+
+#: Scheme label -> class, as used by the experiment harness.
+SCHEMES = {
+    "TS": TraditionalScheme,
+    "NAS": NormalActiveStorageScheme,
+    "DAS": DynamicActiveStorageScheme,
+}
+
+__all__ = [
+    "DynamicActiveStorageScheme",
+    "NormalActiveStorageScheme",
+    "SCHEMES",
+    "Scheme",
+    "SchemeResult",
+    "TraditionalScheme",
+]

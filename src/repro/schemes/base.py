@@ -1,0 +1,103 @@
+"""Scheme abstraction: one way of serving a data-analysis operation.
+
+The paper evaluates three (Section IV-A1): Traditional Storage (TS),
+Normal Active Storage (NAS), and Dynamic Active Storage (DAS).  Every
+scheme exposes the same contract — run one operator over one PFS file,
+producing a same-size output file — and returns a
+:class:`SchemeResult` with the simulated makespan and classified
+traffic, so the harness can tabulate them side by side.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.decision import OffloadDecision
+from ..errors import ActiveStorageError
+from ..kernels.base import KernelRegistry, default_registry
+from ..metrics.accounting import TrafficDelta, TrafficMeter, sustained_bandwidth
+from ..pfs.filesystem import ParallelFileSystem
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of serving one operation under one scheme."""
+
+    scheme: str
+    operator: str
+    input_file: str
+    output_file: str
+    #: Simulated seconds from submission to completion (makespan).
+    elapsed: float
+    #: Input dataset size in bytes (for bandwidth normalisation).
+    data_bytes: int
+    traffic: TrafficDelta = field(default_factory=TrafficDelta)
+    #: True when the operation ran on the storage nodes.
+    offloaded: bool = False
+    #: The DAS engine's verdict, when one was consulted.
+    decision: Optional[OffloadDecision] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def bandwidth(self) -> float:
+        """Sustained bandwidth (paper Fig. 14): dataset bytes / makespan."""
+        return sustained_bandwidth(self.data_bytes, self.elapsed)
+
+
+class Scheme(ABC):
+    """One evaluation scheme bound to a PFS instance."""
+
+    #: Scheme label as used in the paper's figures.
+    name: str = ""
+
+    def __init__(
+        self,
+        pfs: ParallelFileSystem,
+        registry: Optional[KernelRegistry] = None,
+    ):
+        self.pfs = pfs
+        self.cluster = pfs.cluster
+        self.env = pfs.cluster.env
+        self.registry = registry or default_registry
+
+    def run_operation(self, operator: str, input_file: str, output_file: str, **options):
+        """Process: serve one operation; value is a :class:`SchemeResult`."""
+        return self.env.process(
+            self._measured(operator, input_file, output_file, options),
+            name=f"scheme:{self.name}:{operator}",
+        )
+
+    def _measured(self, operator: str, input_file: str, output_file: str, options):
+        meta = self.pfs.metadata.lookup(input_file)
+        meter = TrafficMeter(self.cluster)
+        started = self.env.now
+        result = yield self.env.process(
+            self._serve(operator, input_file, output_file, options)
+        )
+        if not isinstance(result, SchemeResult):
+            raise ActiveStorageError(
+                f"{type(self).__name__}._serve must return a SchemeResult"
+            )
+        result.elapsed = self.env.now - started
+        result.data_bytes = meta.size
+        result.traffic = meter.delta()
+        return result
+
+    @abstractmethod
+    def _serve(self, operator: str, input_file: str, output_file: str, options):
+        """Generator implementing the scheme; must return a
+        :class:`SchemeResult` shell (elapsed/traffic are filled in by
+        :meth:`_measured`)."""
+
+    def _result(self, operator: str, input_file: str, output_file: str, **kw) -> SchemeResult:
+        return SchemeResult(
+            scheme=self.name,
+            operator=operator,
+            input_file=input_file,
+            output_file=output_file,
+            elapsed=0.0,
+            data_bytes=0,
+            **kw,
+        )

@@ -1,0 +1,47 @@
+"""Discrete-event simulation engine (SimPy-style, self-contained).
+
+Public surface:
+
+* :class:`Environment` — clock + event queue + process scheduler.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`.
+* :class:`Process` (returned by ``env.process``), interruptible.
+* :class:`Resource`, :class:`PriorityResource`, :class:`Container`,
+  :class:`Store`, :class:`FilterStore`.
+* :class:`MonitorHub` for counters/gauges/traces.
+* :class:`RandomStreams` for reproducible named RNG substreams.
+"""
+
+from .core import Environment, Process
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .monitor import Counter, Gauge, MonitorHub, TraceRecord
+from .rand import RandomStreams
+from .resources import (
+    Container,
+    FilterStore,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Gauge",
+    "MonitorHub",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+]

@@ -1,0 +1,274 @@
+"""The discrete-event simulation core: :class:`Environment` and :class:`Process`.
+
+A simulation is driven by generator functions ("process functions") that
+``yield`` events; the environment resumes each process when the event it
+waits on is processed.  Simulated time advances only between events —
+there is no wall-clock component, which makes runs exactly reproducible.
+
+Typical use::
+
+    env = Environment()
+
+    def worker(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(2.0)
+
+    env.process(worker(env, resource))
+    env.run(until=10.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+from types import GeneratorType
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..errors import InterruptError, SimulationError, StopSimulation
+from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Initialize, Timeout
+
+Generator_ = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process: wraps a generator and is itself an event that
+    triggers when the generator returns (value = return value) or raises
+    (the process event fails).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator_, name: Optional[str] = None):
+        if not isinstance(generator, GeneratorType):
+            raise SimulationError(
+                f"process() requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (or None)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at its current yield.
+
+        Interrupting a dead process is an error; interrupting a process
+        at the same timestep it is resumed is supported (the interrupt
+        wins; the original event's value is lost for this wakeup).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._generator is self.env.active_process_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = InterruptError(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks = [self._resume]
+        self.env.schedule(interrupt_ev, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        env._active_proc = self
+
+        # Drop the stale target: if we are resumed by an interrupt while
+        # still subscribed to another event, unsubscribe from it.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw into the process.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished normally.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as exc:
+                # Process died with an exception -> fail the process event.
+                self._ok = False
+                self._value = exc
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(error)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    env.schedule(self, priority=NORMAL)
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    env.schedule(self, priority=NORMAL)
+                break
+            if next_event.env is not env:
+                raise SimulationError("cannot yield an event from a different environment")
+
+            if next_event.callbacks is not None:
+                # Event still pending or queued — wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed — loop and feed its value immediately.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Environment:
+    """Coordinates events, processes and the simulated clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    @property
+    def active_process_generator(self):
+        return self._active_proc._generator if self._active_proc else None
+
+    # -- event factories --------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator_, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator function's generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("step(): no scheduled events") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure — surface it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[object] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until the event is processed and
+          return its value (raising if it failed).
+        """
+        stop_at = float("inf")
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                stop_at = float(until)  # type: ignore[arg-type]
+                if stop_at <= self._now:
+                    raise SimulationError(
+                        f"run(until={stop_at!r}) is not in the future (now={self._now!r})"
+                    )
+
+        try:
+            while self._queue and self.peek() < stop_at:
+                self.step()
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            raise event._value from None
+
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise SimulationError(
+                "run() ran out of events before the `until` event triggered"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        if stop_event is not None:
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment now={self._now!r} queued={len(self._queue)}>"

@@ -1,0 +1,269 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The design follows the classic process-interaction style (as popularised
+by SimPy): an :class:`Event` is a one-shot future that processes can
+wait on by ``yield``-ing it.  Events carry a value (or an exception) and
+a list of callbacks invoked when the event is processed by the
+:class:`~repro.sim.core.Environment`.
+
+Composite conditions (``ev1 & ev2``, ``ev1 | ev2``) are provided by
+:class:`AllOf` / :class:`AnyOf`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+# Scheduling priorities: urgent callbacks (resource bookkeeping) run
+# before normal events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+#: Sentinel for "no value yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes may wait for.
+
+    States:
+
+    * *pending*   — created, not yet triggered.
+    * *triggered* — :meth:`succeed`/:meth:`fail` called; sits in the
+      environment's queue until its timestamp is reached.
+    * *processed* — callbacks have run; :attr:`value` is final.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state predicates --------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception object if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes see the exception thrown at their ``yield``.
+        If nothing ever waits, the environment re-raises it at
+        processing time (unless :meth:`defused`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the state of another (triggered) event onto this one.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the environment does not
+        re-raise its exception when no process was waiting."""
+        self._defused = True
+
+    # -- composition ---------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Event"):
+        super().__init__(env)
+        self.callbacks = [process._resume]  # type: ignore[attr-defined]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Mapping-like result of a condition: triggered events -> values."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        return {ev: ev._value for ev in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a predicate over a fixed set of events to hold.
+
+    The condition succeeds with a :class:`ConditionValue` exposing the
+    values of all events that had triggered by then.  If any constituent
+    event fails, the condition fails with the same exception.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        if self._evaluate(self._events, 0):
+            # Degenerate condition (e.g. AllOf([])) — succeeds immediately.
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            # Only events that have actually been *processed* count: a
+            # Timeout is born triggered, but until its timestamp fires
+            # it has not occurred.
+            if event.callbacks is None:
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return  # already triggered (e.g. AnyOf satisfied earlier)
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Succeeds once *all* the given events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Succeeds once *any* of the given events has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)

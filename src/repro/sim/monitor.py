@@ -1,0 +1,120 @@
+"""Instrumentation: counters, time-weighted gauges and event traces.
+
+Every byte that crosses a simulated link and every second a device is
+busy is recorded here; the benchmark harness reads these monitors to
+produce the paper's bandwidth and utilisation numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import Environment
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing tally (bytes sent, requests served...)."""
+
+    name: str
+    value: float = 0.0
+    events: int = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self.events += 1
+
+
+class Gauge:
+    """A time-weighted level (queue depth, busy servers).
+
+    ``time_average(now)`` integrates the level over time, which is the
+    correct way to report mean utilisation from a DES.
+    """
+
+    def __init__(self, env: Environment, name: str, initial: float = 0.0):
+        self.env = env
+        self.name = name
+        self._level = initial
+        self._area = 0.0
+        self._last_change = env.now
+        self._peak = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def set(self, level: float) -> None:
+        now = self.env.now
+        self._area += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = level
+        if level > self._peak:
+            self._peak = level
+
+    def adjust(self, delta: float) -> None:
+        self.set(self._level + delta)
+
+    def time_average(self, now: Optional[float] = None) -> float:
+        if now is None:
+            now = self.env.now
+        total = self._area + self._level * (now - self._last_change)
+        return total / now if now > 0 else self._level
+
+
+@dataclass
+class TraceRecord:
+    """One logged simulation occurrence."""
+
+    time: float
+    category: str
+    detail: str
+    data: dict = field(default_factory=dict)
+
+
+class MonitorHub:
+    """Central registry of counters/gauges plus an optional event trace."""
+
+    def __init__(self, env: Environment, trace: bool = False):
+        self.env = env
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.trace_enabled = trace
+        self.trace: List[TraceRecord] = []
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self.counters[name] = c
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = Gauge(self.env, name)
+            self.gauges[name] = g
+        return g
+
+    def log(self, category: str, detail: str, **data) -> None:
+        if self.trace_enabled:
+            self.trace.append(TraceRecord(self.env.now, category, detail, data))
+
+    def counter_total(self, prefix: str) -> float:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(c.value for name, c in self.counters.items() if name.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counter values, for end-of-run reporting."""
+        return {name: c.value for name, c in self.counters.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MonitorHub counters={len(self.counters)} gauges={len(self.gauges)}"
+            f" trace={len(self.trace)}>"
+        )

@@ -1,0 +1,323 @@
+"""Shared-resource primitives for the simulation engine.
+
+* :class:`Resource` — capacity-limited resource with FIFO queueing
+  (models NIC ports, disk arms, CPU cores).
+* :class:`PriorityResource` — like :class:`Resource` but requests carry
+  a priority (lower value served first).
+* :class:`Container` — continuous quantity (models buffer space).
+* :class:`Store` / :class:`FilterStore` — queues of Python objects
+  (model mailboxes and RPC channels).
+
+Requests are events; processes ``yield`` them and use the returned
+request token with ``release``.  ``Resource.request()`` supports the
+context-manager protocol so the idiomatic form is::
+
+    with resource.request() as req:
+        yield req
+        ... hold the resource ...
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .core import Environment
+from .events import PENDING, URGENT, Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "proc")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (if granted) or withdraw from the queue."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A request with an explicit priority; FIFO among equal priorities."""
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self.seq = resource._next_seq()
+        super().__init__(resource)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity!r}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+
+    def release(self, req: Request) -> None:
+        """Return a slot to the pool, waking the next queued request."""
+        if req in self.users:
+            self.users.remove(req)
+            self._grant_next()
+        else:
+            # Withdrawing an un-granted request from the queue is legal
+            # (e.g. a process interrupted while waiting).
+            try:
+                self.queue.remove(req)
+            except ValueError:
+                pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            if nxt._value is not PENDING:
+                continue  # stale (cancelled) request
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} users={len(self.users)}/{self._capacity}"
+            f" queued={len(self.queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self.queue, req)  # type: ignore[arg-type]
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = heapq.heappop(self.queue)  # type: ignore[arg-type]
+            if nxt._value is not PENDING:
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def release(self, req: Request) -> None:
+        if req in self.users:
+            self.users.remove(req)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(req)
+                heapq.heapify(self.queue)  # type: ignore[arg-type]
+            except ValueError:
+                pass
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive, got {amount!r}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous stock of some quantity with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_waiters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if self._level >= get.amount:
+                    self._get_waiters.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progress = True
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._trigger()
+
+
+class FilterStoreGet(StoreGet):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]):
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional capacity bound.
+
+    The workhorse of the simulated message fabric: mailboxes, RPC reply
+    channels and data-server work queues are all Stores.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters and len(self.items) < self.capacity:
+                put = self._put_waiters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            if self._get_waiters and self.items:
+                got = self._match(self._get_waiters)
+                if got is not None:
+                    progress = True
+
+    def _match(self, waiters: List[StoreGet]) -> Optional[StoreGet]:
+        get = waiters.pop(0)
+        item = self.items.pop(0)
+        get.succeed(item)
+        return get
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose consumers can select items by predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, filter)
+
+    def _match(self, waiters: List[StoreGet]) -> Optional[StoreGet]:
+        # Scan waiters in order; serve the first whose predicate matches
+        # some stored item.  Unmatched waiters stay queued.
+        for wi, get in enumerate(waiters):
+            predicate = getattr(get, "filter", None) or (lambda item: True)
+            for ii, item in enumerate(self.items):
+                if predicate(item):
+                    waiters.pop(wi)
+                    self.items.pop(ii)
+                    get.succeed(item)
+                    return get
+        return None

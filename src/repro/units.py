@@ -1,0 +1,60 @@
+"""Unit helpers: byte sizes, bandwidths and time quantities.
+
+All simulation-facing APIs take plain numbers (bytes, seconds,
+bytes/second).  These helpers make call sites legible:
+
+>>> from repro.units import MiB, GiB, us
+>>> 64 * KiB
+65536
+"""
+
+from __future__ import annotations
+
+# --- byte sizes (binary, as used by PVFS2 strip sizes) -------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# decimal variants (used by disk/NIC vendors)
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# --- time (seconds) ------------------------------------------------------
+ns = 1e-9
+us = 1e-6
+ms = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``fmt_bytes(65536) == '64.0 KiB'``."""
+    n = float(n)
+    for unit, suffix in ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(t: float) -> str:
+    """Render a duration in the most natural unit, e.g. ``fmt_time(0.002) == '2.000 ms'``."""
+    t = float(t)
+    if abs(t) >= HOUR:
+        return f"{t / HOUR:.2f} h"
+    if abs(t) >= MINUTE:
+        return f"{t / MINUTE:.2f} min"
+    if abs(t) >= 1.0:
+        return f"{t:.3f} s"
+    if abs(t) >= ms:
+        return f"{t / ms:.3f} ms"
+    if abs(t) >= us:
+        return f"{t / us:.3f} us"
+    return f"{t / ns:.1f} ns"
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Render a bandwidth (bytes/second) with a binary suffix."""
+    return f"{fmt_bytes(bps)}/s"

@@ -1,0 +1,25 @@
+"""Synthetic workload generators (DEMs, phantom images, size presets)."""
+
+from .datasets import (
+    DEFAULT_SCALE,
+    PAPER_DATA_SIZES_GB,
+    PAPER_NODE_COUNTS,
+    DatasetSpec,
+    dataset_for_label,
+    raster_shape_for_bytes,
+)
+from .dem import fractal_dem, ramp_dem
+from .imaging import add_salt_pepper, phantom_image
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DatasetSpec",
+    "PAPER_DATA_SIZES_GB",
+    "PAPER_NODE_COUNTS",
+    "add_salt_pepper",
+    "dataset_for_label",
+    "fractal_dem",
+    "phantom_image",
+    "ramp_dem",
+    "raster_shape_for_bytes",
+]

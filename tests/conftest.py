@@ -1,0 +1,53 @@
+"""Shared fixtures: small clusters, file systems and rasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformSpec, SimConfig
+from repro.hw import Cluster
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def env():
+    from repro.sim import Environment
+
+    return Environment()
+
+
+@pytest.fixture
+def small_cluster():
+    """4 compute + 4 storage nodes with default platform."""
+    return Cluster.build(n_compute=4, n_storage=4)
+
+
+@pytest.fixture
+def small_pfs(small_cluster):
+    """A PFS with small (4 KiB) strips for cheap layout tests."""
+    return ParallelFileSystem(small_cluster, strip_size=4 * KiB)
+
+
+@pytest.fixture
+def dem_64():
+    """64x64 float64 raster = 32 KiB = 8 strips of 4 KiB."""
+    return fractal_dem(64, 64, rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def dem_wide():
+    """96x128 raster: wider than tall, strips cross row boundaries."""
+    return fractal_dem(96, 128, rng=np.random.default_rng(2))
+
+
+def run_to(cluster, proc):
+    """Run the cluster until a process completes; return its value."""
+    return cluster.run(until=proc)
+
+
+@pytest.fixture
+def drive():
+    return run_to

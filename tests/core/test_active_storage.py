@@ -1,0 +1,215 @@
+"""Integration tests: AS servers, the Active Storage Client, pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActiveRequest,
+    ActiveStorageClient,
+    Pipeline,
+    PipelineStage,
+)
+from repro.errors import ActiveStorageError, OffloadRejectedError
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=2, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    dem = fractal_dem(128, 256, rng=np.random.default_rng(3))  # 64 strips
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    return cluster, pfs, dem
+
+
+def test_submit_with_redistribution_produces_reference(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("flow-routing", "dem", "dirs", pipeline_length=3)
+    result = drive(cluster, asc.submit(req))
+    assert result.offloaded
+    assert result.redistribution_bytes > 0
+    assert result.total_remote_halo_bytes == 0  # DAS layout localised it
+    ref = default_registry.get("flow-routing").reference(dem)
+    assert np.array_equal(pfs.client("c0").collect("dirs"), ref)
+    assert pfs.client("c0").verify_replicas("dirs")
+
+
+def test_submit_rejection_raises_with_decision(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("flow-routing", "dem", "dirs", pipeline_length=1)
+    with pytest.raises(OffloadRejectedError) as err:
+        drive(cluster, asc.submit(req))
+    assert err.value.decision.outcome == "serve-normal"
+
+
+def test_force_offload_ignores_rejection(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("flow-routing", "dem", "dirs", pipeline_length=1)
+    result = drive(cluster, asc.submit(req, force_offload=True))
+    assert result.offloaded
+    ref = default_registry.get("flow-routing").reference(dem)
+    assert np.array_equal(pfs.client("c0").collect("dirs"), ref)
+
+
+def test_execute_offload_on_round_robin_pulls_remote_halo(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("gaussian", "dem", "smooth", replicate_output=False)
+    decision = asc.decide(req)
+    result = drive(cluster, asc.execute_offload(req, decision))
+    assert result.total_remote_halo_bytes > 0  # NAS-style neighbour pulls
+    ref = default_registry.get("gaussian").reference(dem)
+    assert np.array_equal(pfs.client("c0").collect("smooth"), ref)
+
+
+def test_stats_cover_every_element(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("median", "dem", "out", replicate_output=False)
+    result = drive(cluster, asc.execute_offload(req, asc.decide(req)))
+    assert result.total_elements == dem.size
+    assert set(result.per_server) == set(pfs.server_names)
+    assert all(s.runs >= 1 for s in result.per_server.values())
+
+
+def test_existing_output_rejected(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0")
+    pfs.metadata.create("dirs", dem.nbytes, pfs.round_robin())
+    req = ActiveRequest("flow-routing", "dem", "dirs")
+    with pytest.raises(ActiveStorageError):
+        drive(cluster, asc.submit(req, force_offload=True))
+
+
+def test_non_float64_input_rejected(world, drive):
+    cluster, pfs, dem = world
+    pfs.client("c0").ingest(
+        "ints", np.zeros((64, 64), dtype=np.int32), pfs.round_robin()
+    )
+    asc = ActiveStorageClient(pfs, home="c0")
+    req = ActiveRequest("gaussian", "ints", "out")
+    with pytest.raises(ActiveStorageError):
+        drive(cluster, asc.submit(req, force_offload=True))
+
+
+def test_exact_halo_granularity_also_correct(world, drive):
+    cluster, pfs, dem = world
+    asc = ActiveStorageClient(pfs, home="c0", halo_granularity="exact")
+    req = ActiveRequest("slope", "dem", "out", replicate_output=False)
+    result = drive(cluster, asc.execute_offload(req, asc.decide(req)))
+    ref = default_registry.get("slope").reference(dem)
+    assert np.array_equal(pfs.client("c0").collect("out"), ref)
+    assert result.total_remote_halo_bytes > 0
+
+
+def test_unknown_halo_granularity_rejected(world):
+    cluster, pfs, dem = world
+    with pytest.raises(ActiveStorageError):
+        ActiveStorageClient(pfs, home="c0", halo_granularity="telepathic")
+
+
+class TestPipeline:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ActiveStorageError):
+            Pipeline([])
+
+    def test_requests_derive_names_and_lengths(self):
+        pipe = Pipeline(["flow-routing", "flow-accumulation"])
+        reqs = pipe.requests("dem")
+        assert [r.operator for r in reqs] == ["flow-routing", "flow-accumulation"]
+        assert reqs[0].output == "dem.flow-routing"
+        assert reqs[1].file == "dem.flow-routing"
+        assert [r.pipeline_length for r in reqs] == [2, 1]
+
+    def test_explicit_stage_outputs(self):
+        pipe = Pipeline([PipelineStage("gaussian", output="g1")])
+        assert pipe.requests("img")[0].output == "g1"
+
+    def test_submit_runs_stages_in_order(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        pipe = Pipeline(
+            [
+                PipelineStage("flow-routing", output="dirs"),
+                PipelineStage("flow-accumulation", output="acc"),
+            ]
+        )
+        results = drive(cluster, pipe.submit(asc, "dem"))
+        assert len(results) == 2
+        assert all(r.offloaded for r in results)
+        fr = default_registry.get("flow-routing")
+        fa = default_registry.get("flow-accumulation")
+        dirs = pfs.client("c0").collect("dirs")
+        assert np.array_equal(dirs, fr.reference(dem))
+        assert np.array_equal(pfs.client("c0").collect("acc"), fa.reference(dirs))
+
+    def test_second_stage_needs_no_redistribution(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        pipe = Pipeline(["flow-routing", "flow-accumulation"])
+        results = drive(cluster, pipe.submit(asc, "dem"))
+        assert results[0].decision.outcome == "offload-redistribute"
+        assert results[1].decision.outcome == "offload-in-place"
+        assert results[1].redistribution_bytes == 0
+        assert results[1].total_remote_halo_bytes == 0
+
+
+class TestASServerKnobs:
+    def test_invalid_inflight_rejected(self, world):
+        from repro.core.as_server import ASServer
+
+        cluster, pfs, dem = world
+        with pytest.raises(ActiveStorageError):
+            ASServer(pfs, "s0", max_inflight_runs=0)
+
+    def test_serial_runs_not_faster_than_pipelined(self, world, drive):
+        from repro.core.as_server import ASServer
+
+        def run(inflight):
+            cluster = Cluster.build(n_compute=2, n_storage=4)
+            pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+            dem = fractal_dem(128, 256, rng=np.random.default_rng(3))
+            pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+            asc = ActiveStorageClient(pfs, home="c0", start_servers=False)
+            asc.servers = {
+                name: ASServer(pfs, name, max_inflight_runs=inflight)
+                for name in pfs.server_names
+            }
+            req = ActiveRequest("gaussian", "dem", "out", replicate_output=False)
+            res = drive(cluster, asc.execute_offload(req, asc.decide(req)))
+            ref = default_registry.get("gaussian").reference(dem)
+            assert np.array_equal(pfs.client("c0").collect("out"), ref)
+            return res.elapsed
+
+        serial = run(1)
+        pipelined = run(4)
+        assert pipelined <= serial
+
+
+class TestRPCOverhead:
+    def test_reply_charges_configured_overhead(self, drive):
+        from repro.config import PlatformSpec
+        from repro.units import GiB, us
+
+        spec = PlatformSpec(nic_bandwidth=1 * GiB, nic_latency=0.0, rpc_overhead=500 * us)
+        cluster = Cluster.build(n_compute=1, n_storage=1, spec=spec)
+
+        def server():
+            req = yield cluster.transport.recv("s0", tag="rpc")
+            yield cluster.transport.reply(req, "pong", 1)
+
+        cluster.env.process(server())
+
+        def client():
+            yield cluster.transport.call("c0", "s0", "ping", 1)
+            return cluster.env.now
+
+        t = drive(cluster, cluster.env.process(client()))
+        assert t >= 500e-6  # the reply path includes the overhead

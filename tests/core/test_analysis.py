@@ -1,0 +1,64 @@
+"""Tests for the locality-analysis helpers."""
+
+import pytest
+
+from repro.core import local_strides, locality_table
+from repro.core.analysis import locality_table as _table
+
+E = 8
+STRIP = 64  # 8 elements per strip
+D = 4
+
+
+class TestLocalityTable:
+    def test_eq17_column_matches_direct_check(self):
+        rows = locality_table([8, 16, 32, 64], E, STRIP, D)
+        verdicts = {r["stride"]: r["eq17_local"] for r in rows}
+        assert verdicts == {8: False, 16: False, 32: True, 64: True}
+
+    def test_exact_counts_zero_iff_local_for_aligned_strides(self):
+        rows = locality_table([8, 16, 24, 32], E, STRIP, D, n_elements=256)
+        for row in rows:
+            if row["eq17_local"]:
+                assert row["cross_server_deps"] == 0
+            else:
+                assert row["cross_server_deps"] > 0
+
+    def test_sub_strip_stride_crosses_only_at_boundaries(self):
+        # stride 1 fails Eq. (17) but only boundary elements cross:
+        # the criterion is conservative, the exact count shows how much.
+        [row] = locality_table([1], E, STRIP, D, n_elements=256)
+        assert not row["eq17_local"]
+        assert 0 < row["cross_fraction"] < 0.2
+
+    def test_group_column_changes_verdicts(self):
+        rows = locality_table([32], E, STRIP, D, groups=(1, 2))
+        by_group = {r["group_r"]: r["eq17_local"] for r in rows}
+        assert by_group == {1: True, 2: False}  # 32*8 = 64*4, not 2*64*4
+
+    def test_rows_cover_cross_product(self):
+        rows = locality_table([1, 2], E, STRIP, D, groups=(1, 2, 3))
+        assert len(rows) == 6
+
+
+class TestLocalStrides:
+    def test_yields_server_round_multiples(self):
+        assert list(local_strides(E, STRIP, D, limit=130)) == [32, 64, 96, 128]
+
+    def test_group_factor_scales_the_round(self):
+        assert list(local_strides(E, STRIP, D, group=2, limit=130)) == [64, 128]
+
+    def test_all_yielded_strides_verify_exactly(self):
+        from repro.core import cross_server_elements
+        from repro.pfs import RoundRobinLayout
+        import numpy as np
+
+        layout = RoundRobinLayout([f"s{i}" for i in range(D)], STRIP)
+        for stride in local_strides(E, STRIP, D, limit=200):
+            assert (
+                cross_server_elements(layout, 500, E, np.array([stride])) == 0
+            )
+
+    def test_non_integral_round_yields_nothing(self):
+        # element size 7 never divides 64*4 evenly.
+        assert list(local_strides(7, STRIP, D, limit=10_000)) == []

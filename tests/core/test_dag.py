@@ -1,0 +1,128 @@
+"""Tests for DAG-structured operation graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveStorageClient, OperationGraph
+from repro.errors import ActiveStorageError
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+from repro.harness.platform import ingest_for_scheme
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=2, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    dem = fractal_dem(128, 256, rng=np.random.default_rng(91))
+    ingest_for_scheme(pfs, "DAS", "dem", dem, "flow-routing")
+    asc = ActiveStorageClient(pfs, home="c0")
+    return cluster, pfs, dem, asc
+
+
+class TestStructure:
+    def test_duplicate_node_rejected(self):
+        g = OperationGraph().add("a", "gaussian", "src")
+        with pytest.raises(ActiveStorageError):
+            g.add("a", "median", "src")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ActiveStorageError):
+            OperationGraph().validate()
+
+    def test_cycle_rejected(self):
+        g = OperationGraph()
+        g.add("a", "gaussian", "b").add("b", "gaussian", "a")
+        with pytest.raises(ActiveStorageError, match="cycle"):
+            g.validate()
+
+    def test_descendant_counts(self):
+        g = (
+            OperationGraph()
+            .add("dirs", "flow-routing", "dem")
+            .add("acc", "flow-accumulation", "dirs")
+            .add("smooth", "gaussian", "acc")
+            .add("rough", "relief", "dirs")
+        )
+        assert g.descendants("dirs") == 3
+        assert g.descendants("acc") == 1
+        assert g.descendants("smooth") == 0
+        assert g.roots() == ["dirs"]
+
+    def test_children_and_parents(self):
+        g = OperationGraph().add("a", "gaussian", "src").add("b", "median", "a")
+        assert g.parents("a") is None  # src is a file, not a node
+        assert g.parents("b") == "a"
+        assert g.children("a") == ["b"]
+
+
+class TestExecution:
+    def test_linear_chain_matches_references(self, world, drive):
+        cluster, pfs, dem, asc = world
+        g = (
+            OperationGraph()
+            .add("dirs", "flow-routing", "dem")
+            .add("acc", "flow-accumulation", "dirs")
+        )
+        results = drive(cluster, g.submit(asc))
+        assert set(results) == {"dirs", "acc"}
+        fr = default_registry.get("flow-routing")
+        fa = default_registry.get("flow-accumulation")
+        dirs = pfs.client("c0").collect("dirs")
+        assert np.array_equal(dirs, fr.reference(dem))
+        assert np.array_equal(pfs.client("c0").collect("acc"), fa.reference(dirs))
+
+    def test_branching_graph_runs_all_products(self, world, drive):
+        cluster, pfs, dem, asc = world
+        g = (
+            OperationGraph()
+            .add("dirs", "flow-routing", "dem")
+            .add("acc", "flow-accumulation", "dirs")
+            .add("smooth", "gaussian", "dem")
+            .add("rough", "relief", "dem")
+        )
+        results = drive(cluster, g.submit(asc))
+        assert len(results) == 4
+        client = pfs.client("c0")
+        assert np.array_equal(
+            client.collect("smooth"), default_registry.get("gaussian").reference(dem)
+        )
+        assert np.array_equal(
+            client.collect("rough"), default_registry.get("relief").reference(dem)
+        )
+
+    def test_branches_overlap_in_time(self, world, drive):
+        """Two independent products of the same input must not run
+        strictly sequentially."""
+        cluster, pfs, dem, asc = world
+        g = (
+            OperationGraph()
+            .add("smooth", "gaussian", "dem")
+            .add("rough", "relief", "dem")
+        )
+        results = drive(cluster, g.submit(asc))
+        total = cluster.env.now
+        serial = sum(r.elapsed for r in results.values())
+        assert total < serial  # overlap happened
+
+    def test_amortisation_follows_descendant_count(self, world, drive):
+        cluster, pfs, dem, asc = world
+        # Fresh round-robin file: the root decision sees 3 ops sharing
+        # the pattern (itself + 2 descendants), enough to redistribute.
+        pfs.client("c0").ingest(
+            "cold", fractal_dem(128, 256, rng=np.random.default_rng(92)),
+            pfs.round_robin(),
+        )
+        g = (
+            OperationGraph()
+            .add("c.dirs", "flow-routing", "cold")
+            .add("c.acc", "flow-accumulation", "c.dirs")
+            .add("c.smooth", "gaussian", "c.acc")
+        )
+        results = drive(cluster, g.submit(asc))
+        assert results["c.dirs"].decision.outcome == "offload-redistribute"
+        assert results["c.acc"].decision.outcome == "offload-in-place"
+        assert results["c.smooth"].decision.outcome == "offload-in-place"

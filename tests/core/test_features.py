@@ -1,0 +1,55 @@
+"""Unit tests for the Kernel Features store."""
+
+import pytest
+
+from repro.core import KernelFeatures
+from repro.errors import UnknownKernelError
+from repro.kernels import DependencePattern, default_registry
+
+
+def test_from_registry_covers_all_kernels():
+    features = KernelFeatures.from_registry()
+    for kernel in default_registry:
+        assert kernel.name in features
+        assert features.get(kernel.name) == kernel.pattern()
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(UnknownKernelError):
+        KernelFeatures().get("mystery")
+
+
+def test_from_text_parses_paper_format():
+    text = (
+        "Name:flow-routing\n"
+        "Dependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,"
+        " imgWidth-1, imgWidth, imgWidth+1\n"
+    )
+    features = KernelFeatures.from_text(text)
+    assert features.get("flow-routing") == DependencePattern.eight_neighbor(
+        "flow-routing"
+    )
+
+
+def test_text_roundtrip_preserves_store():
+    original = KernelFeatures.from_registry()
+    reparsed = KernelFeatures.from_text(original.to_text())
+    assert reparsed.names() == original.names()
+    for name in original.names():
+        assert reparsed.get(name) == original.get(name)
+
+
+def test_file_roundtrip(tmp_path):
+    original = KernelFeatures.from_registry()
+    path = tmp_path / "features.txt"
+    original.save(path)
+    loaded = KernelFeatures.from_file(path)
+    assert loaded.names() == original.names()
+
+
+def test_add_overwrites_record():
+    features = KernelFeatures()
+    features.add(DependencePattern.stride("op", 3))
+    features.add(DependencePattern.stride("op", 5))
+    assert features.get("op").offsets(1).tolist() == [-5, 5]
+    assert len(features) == 1

@@ -1,0 +1,163 @@
+"""Unit tests for the layout optimizer and the offload decision engine."""
+
+import pytest
+
+from repro.core import (
+    DecisionEngine,
+    KernelFeatures,
+    LayoutOptimizer,
+    OFFLOAD_IN_PLACE,
+    OFFLOAD_REDISTRIBUTE,
+    SERVE_NORMAL,
+)
+from repro.errors import LayoutError
+from repro.kernels import DependencePattern
+from repro.pfs import ReplicatedGroupedLayout, RoundRobinLayout
+from repro.pfs.datafile import FileMeta
+
+SERVERS = [f"s{i}" for i in range(4)]
+E = 8
+STRIP = 512  # 64 elements per strip
+
+
+def make_meta(n_strips=64, layout=None, width=32):
+    layout = layout or RoundRobinLayout(SERVERS, STRIP)
+    size = n_strips * STRIP
+    n_elements = size // E
+    shape = (n_elements // width, width) if width else None
+    return FileMeta("f", size=size, layout=layout, shape=shape)
+
+
+EIGHT = DependencePattern.eight_neighbor("flow-routing")
+
+
+class TestLayoutOptimizer:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(LayoutError):
+            LayoutOptimizer(capacity_overhead_budget=0)
+
+    def test_halo_strips_rounds_reach_up(self):
+        opt = LayoutOptimizer()
+        meta = make_meta(width=32)  # reach 33 elems = 264 B < 512 B strip
+        assert opt.halo_strips_for(meta, EIGHT) == 1
+        wide = make_meta(width=128)  # reach 129*8 = 1032 B -> 3 strips
+        assert opt.halo_strips_for(wide, EIGHT) == 3
+
+    def test_plan_meets_capacity_budget(self):
+        opt = LayoutOptimizer(capacity_overhead_budget=0.25)
+        plan = opt.plan(make_meta(), EIGHT)
+        assert plan.fully_local
+        assert plan.capacity_overhead <= 0.25
+        assert isinstance(plan.layout, ReplicatedGroupedLayout)
+        # 64 strips over 4 servers: r=16 balances perfectly (one group
+        # per server) with the lowest overhead among balanced choices.
+        assert plan.layout.group == 16
+
+    def test_plan_prefers_balanced_groups(self):
+        # 144 strips over 4 servers: r=8 (the bare budget answer) gives
+        # 18 groups -> 5 groups on one server (40 strips) vs 4 (32) on
+        # others; a balanced r keeps the max per-server load minimal.
+        opt = LayoutOptimizer(capacity_overhead_budget=0.25)
+        plan = opt.plan(make_meta(n_strips=144), EIGHT)
+        import math
+
+        r = plan.layout.group
+        groups = math.ceil(144 / r)
+        max_load = math.ceil(groups / 4) * r
+        assert max_load == 36  # perfect 144/4 split
+
+    def test_plan_clamps_group_to_server_share(self):
+        opt = LayoutOptimizer(capacity_overhead_budget=0.01)  # wants r=200
+        plan = opt.plan(make_meta(n_strips=64), EIGHT)
+        assert plan.layout.group == 16  # 64 strips / 4 servers
+
+    def test_independent_pattern_keeps_layout(self):
+        plan = LayoutOptimizer().plan(make_meta(), DependencePattern.independent("x"))
+        assert plan.layout is None
+        assert plan.fully_local
+
+    def test_infeasible_when_reach_exceeds_group(self):
+        # 4 strips over 4 servers -> r max 1; halo needs 3 strips.
+        meta = make_meta(n_strips=4, width=128)
+        plan = LayoutOptimizer().plan(meta, EIGHT)
+        assert plan.layout is None
+        assert not plan.fully_local
+
+    def test_already_optimal_detects_installed_layout(self):
+        opt = LayoutOptimizer()
+        meta = make_meta()
+        assert not opt.already_optimal(meta, EIGHT)
+        plan = opt.plan(meta, EIGHT)
+        installed = make_meta(layout=plan.layout)
+        assert opt.already_optimal(installed, EIGHT)
+
+    def test_already_optimal_rejects_insufficient_halo(self):
+        opt = LayoutOptimizer()
+        thin = ReplicatedGroupedLayout(SERVERS, STRIP, group=8, halo_strips=1)
+        meta = make_meta(layout=thin, width=128)  # needs 3 halo strips
+        assert not opt.already_optimal(meta, EIGHT)
+
+
+class TestDecisionEngine:
+    @pytest.fixture
+    def engine(self):
+        return DecisionEngine(features=KernelFeatures.from_registry())
+
+    def test_pipeline_amortisation_wins(self, engine):
+        meta = make_meta()
+        decision = engine.decide(meta, "flow-routing", pipeline_length=4)
+        assert decision.outcome == OFFLOAD_REDISTRIBUTE
+        assert decision.redistribute_to is not None
+        assert decision.accept
+
+    def test_one_shot_on_cold_file_served_normal(self, engine):
+        meta = make_meta()
+        decision = engine.decide(meta, "flow-routing", pipeline_length=1)
+        assert decision.outcome == SERVE_NORMAL
+        assert not decision.accept
+        assert decision.redistribute_to is None
+
+    def test_pre_distributed_file_offloads_in_place(self, engine):
+        plan = LayoutOptimizer().plan(make_meta(), EIGHT)
+        meta = make_meta(layout=plan.layout)
+        decision = engine.decide(meta, "flow-routing")
+        assert decision.outcome == OFFLOAD_IN_PLACE
+        assert decision.prediction_current.offload_halo_bytes == 0
+
+    def test_independent_operator_offloads_in_place(self, engine):
+        engine.features.add(DependencePattern.independent("scan"))
+        decision = engine.decide(make_meta(), "scan")
+        assert decision.outcome == OFFLOAD_IN_PLACE
+
+    def test_redistribution_can_be_disallowed(self, engine):
+        meta = make_meta()
+        decision = engine.decide(
+            meta, "flow-routing", pipeline_length=10, allow_redistribution=False
+        )
+        assert decision.outcome == SERVE_NORMAL
+        assert decision.prediction_planned is None
+
+    def test_offload_cost_includes_amortised_redistribution(self, engine):
+        meta = make_meta()
+        decision = engine.decide(meta, "flow-routing", pipeline_length=4)
+        assert decision.outcome == OFFLOAD_REDISTRIBUTE
+        expected = (
+            decision.prediction_planned.offload_bytes
+            + decision.redistribution_penalty * decision.redistribution_bytes / 4
+        )
+        assert decision.offload_cost() == pytest.approx(expected)
+
+    def test_longer_pipeline_never_flips_to_normal(self, engine):
+        meta = make_meta()
+        outcomes = [
+            engine.decide(meta, "flow-routing", pipeline_length=k).accept
+            for k in (1, 2, 4, 8, 16)
+        ]
+        # Once acceptance appears it persists for longer pipelines.
+        first_accept = outcomes.index(True)
+        assert all(outcomes[first_accept:])
+
+    def test_decision_reason_is_informative(self, engine):
+        decision = engine.decide(make_meta(), "flow-routing")
+        assert "B" in decision.reason
+        assert decision.pipeline_length == 1

@@ -1,0 +1,242 @@
+"""Unit tests for the bandwidth predictor (paper Section III-C).
+
+Includes a brute-force oracle for the per-element model: enumerate
+every (element, offset) pair and compare servers directly — the paper's
+Eq. (5) computed the obvious slow way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BandwidthPredictor,
+    cross_server_elements,
+    dependence_is_local,
+    element_movement_bytes,
+    location_grouped,
+    location_round_robin,
+    offload_interserver_bytes,
+    remote_halo_bytes,
+    replication_bytes,
+    strip_of_element,
+)
+from repro.errors import KernelError
+from repro.kernels import DependencePattern
+from repro.pfs import (
+    GroupedLayout,
+    ReplicatedGroupedLayout,
+    RoundRobinLayout,
+)
+from repro.pfs.datafile import FileMeta
+
+SERVERS = ["s0", "s1", "s2", "s3"]
+E = 8
+STRIP = 64  # 8 elements per strip — small enough to brute force
+
+
+def brute_force_cross(layout, n_elements, offsets):
+    """Oracle for cross_server_elements."""
+    total = 0
+    for i in range(n_elements):
+        src = layout.server_index((i * E) // layout.strip_size)
+        for d in offsets:
+            j = i + d
+            if 0 <= j < n_elements:
+                dst = layout.server_index((j * E) // layout.strip_size)
+                if dst != src:
+                    total += 1
+    return total
+
+
+class TestPaperEquations:
+    def test_eq1_strip_of_element(self):
+        assert strip_of_element(0, E, STRIP) == 0
+        assert strip_of_element(7, E, STRIP) == 0
+        assert strip_of_element(8, E, STRIP) == 1
+
+    def test_eq2_round_robin_location(self):
+        assert location_round_robin(0, E, STRIP, 4) == 0
+        assert location_round_robin(8, E, STRIP, 4) == 1
+        assert location_round_robin(32, E, STRIP, 4) == 0
+
+    def test_eq14_grouped_location(self):
+        # r=2: elements 0..15 on server 0, 16..31 on server 1, ...
+        assert location_grouped(15, E, STRIP, 4, group=2) == 0
+        assert location_grouped(16, E, STRIP, 4, group=2) == 1
+
+    def test_eq17_divisibility_criterion(self):
+        # stride*E multiple of strip*D -> local.
+        assert dependence_is_local(32, E, STRIP, 4)          # 32*8 = 64*4
+        assert not dependence_is_local(8, E, STRIP, 4)       # one strip over
+        assert dependence_is_local(64, E, STRIP, 4, group=2)  # 64*8 = 2*64*4
+        assert not dependence_is_local(32, E, STRIP, 4, group=2)
+
+    def test_eq17_consistent_with_locations(self):
+        # Whenever the criterion holds, shifted locations agree everywhere.
+        stride = 32
+        assert dependence_is_local(stride, E, STRIP, 4)
+        for i in range(0, 200):
+            assert location_round_robin(i, E, STRIP, 4) == location_round_robin(
+                i + stride, E, STRIP, 4
+            )
+
+
+class TestCrossServerElements:
+    @pytest.mark.parametrize("offsets", [[-1, 1], [-8, 8], [-11, -1, 1, 11], [5]])
+    @pytest.mark.parametrize("n_elements", [8, 64, 100, 129])
+    def test_matches_brute_force_round_robin(self, offsets, n_elements):
+        layout = RoundRobinLayout(SERVERS, STRIP)
+        got = cross_server_elements(layout, n_elements, E, np.array(offsets))
+        assert got == brute_force_cross(layout, n_elements, offsets)
+
+    @pytest.mark.parametrize("group", [1, 2, 3])
+    def test_matches_brute_force_grouped(self, group):
+        layout = GroupedLayout(SERVERS, STRIP, group)
+        offsets = [-9, -1, 1, 9]
+        got = cross_server_elements(layout, 150, E, np.array(offsets))
+        assert got == brute_force_cross(layout, 150, offsets)
+
+    def test_zero_offset_free(self):
+        layout = RoundRobinLayout(SERVERS, STRIP)
+        assert cross_server_elements(layout, 100, E, np.array([0])) == 0
+
+    def test_aligned_stride_is_free(self):
+        layout = RoundRobinLayout(SERVERS, STRIP)
+        # stride of a whole server round: 8 elems/strip * 4 servers.
+        assert cross_server_elements(layout, 500, E, np.array([-32, 32])) == 0
+
+    def test_element_size_must_divide_strip(self):
+        layout = RoundRobinLayout(SERVERS, strip_size=60)
+        with pytest.raises(KernelError):
+            cross_server_elements(layout, 10, 8, np.array([1]))
+
+    def test_movement_bytes_scales_by_element_size(self):
+        layout = RoundRobinLayout(SERVERS, STRIP)
+        crosses = cross_server_elements(layout, 64, E, np.array([8]))
+        assert element_movement_bytes(layout, 64, E, np.array([8])) == crosses * E
+
+
+def make_meta(n_strips=16, layout=None, width=None):
+    layout = layout or RoundRobinLayout(SERVERS, STRIP)
+    size = n_strips * STRIP
+    n_elements = size // E
+    shape = None
+    if width:
+        assert n_elements % width == 0
+        shape = (n_elements // width, width)
+    return FileMeta("f", size=size, layout=layout, shape=shape)
+
+
+class TestRunHaloModel:
+    def test_round_robin_every_run_pulls_both_neighbors(self):
+        meta = make_meta(16, width=4)
+        pattern = DependencePattern.eight_neighbor("op")
+        total = offload_interserver_bytes(meta.layout, meta, pattern, "strip")
+        # 16 single-strip runs; interior ones pull 2 strips, the first
+        # and last pull 1 -> 30 strips of 64 B.
+        assert total == 30 * STRIP
+
+    def test_exact_granularity_charges_reach_only(self):
+        meta = make_meta(16, width=4)
+        pattern = DependencePattern.eight_neighbor("op")
+        total = offload_interserver_bytes(meta.layout, meta, pattern, "exact")
+        # Reach = width+1 = 5 elements = 40 B per side; strictly less
+        # than pulling whole strips.
+        assert 0 < total < 30 * STRIP
+        # 14 interior runs * 2 sides + 2 edge runs * 1 side = 30 sides
+        assert total == 30 * 40
+
+    def test_replicated_layout_localises_halo(self):
+        layout = ReplicatedGroupedLayout(SERVERS, STRIP, group=4, halo_strips=1)
+        meta = make_meta(16, layout=layout, width=4)
+        pattern = DependencePattern.eight_neighbor("op")
+        assert offload_interserver_bytes(layout, meta, pattern, "strip") == 0
+
+    def test_grouped_without_replication_still_pays_boundaries(self):
+        layout = GroupedLayout(SERVERS, STRIP, group=4)
+        meta = make_meta(16, layout=layout, width=4)
+        pattern = DependencePattern.eight_neighbor("op")
+        total = offload_interserver_bytes(layout, meta, pattern, "strip")
+        # 4 groups: first run pulls 1, last pulls 1, middle two pull 2.
+        assert total == 6 * STRIP
+
+    def test_independent_pattern_free(self):
+        meta = make_meta(16, width=8)
+        assert (
+            offload_interserver_bytes(
+                meta.layout, meta, DependencePattern.independent("scan"), "strip"
+            )
+            == 0
+        )
+
+    def test_sparse_stride_charges_shifted_windows_only(self):
+        meta = make_meta(16)  # flat file, no raster shape
+        aligned = DependencePattern.stride("x", 32)  # whole server round
+        assert offload_interserver_bytes(meta.layout, meta, aligned, "strip") == 0
+        unaligned = DependencePattern.stride("y", 8)  # exactly one strip
+        total = offload_interserver_bytes(meta.layout, meta, unaligned, "strip")
+        assert total == 30 * STRIP
+
+    def test_remote_halo_respects_local_replicas(self):
+        layout = ReplicatedGroupedLayout(SERVERS, STRIP, group=4, halo_strips=1)
+        offsets = np.array([-8, 8]) * E  # one strip each way, in bytes
+        assert (
+            remote_halo_bytes(layout, 16 * STRIP, "s0", (0, 3), offsets, "strip") == 0
+        )
+
+
+class TestReplicationBytes:
+    def test_plain_layout_has_none(self):
+        layout = RoundRobinLayout(SERVERS, STRIP)
+        assert replication_bytes(layout, 16 * STRIP) == 0
+
+    def test_replicated_layout_counts_copies(self):
+        layout = ReplicatedGroupedLayout(SERVERS, STRIP, group=4, halo_strips=1)
+        extra = replication_bytes(layout, 16 * STRIP)
+        assert extra == 7 * STRIP  # 4 groups: 3 head + 4 tail replicas
+
+
+class TestPredictor:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KernelError):
+            BandwidthPredictor(model="psychic")
+
+    def test_predict_reports_benefit(self):
+        meta = make_meta(64, width=16)
+        pattern = DependencePattern.eight_neighbor("op")
+        pred = BandwidthPredictor("strip").predict(meta, pattern)
+        assert pred.normal_bytes == meta.size
+        assert pred.offload_halo_bytes > 0
+        # Round-robin + strip halo moves ~2x the file: not beneficial.
+        assert not pred.offload_beneficial
+
+    def test_predict_under_candidate_layout(self):
+        meta = make_meta(64, width=4)
+        pattern = DependencePattern.eight_neighbor("op")
+        candidate = ReplicatedGroupedLayout(SERVERS, STRIP, group=8, halo_strips=1)
+        pred = BandwidthPredictor("strip").predict(meta, pattern, layout=candidate)
+        assert pred.offload_halo_bytes == 0
+        assert pred.offload_beneficial
+
+    def test_normal_write_back_doubles_cost(self):
+        meta = make_meta(16, width=8)
+        pattern = DependencePattern.independent("scan")
+        p1 = BandwidthPredictor().predict(meta, pattern)
+        p2 = BandwidthPredictor().predict(meta, pattern, normal_write_back=True)
+        assert p2.normal_bytes == 2 * p1.normal_bytes
+
+    def test_element_model_uses_eq5(self):
+        meta = make_meta(16, width=8)
+        pattern = DependencePattern.eight_neighbor("op")
+        pred = BandwidthPredictor("element").predict(meta, pattern)
+        expected = element_movement_bytes(
+            meta.layout, meta.n_elements, E, pattern.offsets(8)
+        )
+        assert pred.offload_halo_bytes == expected
+
+    def test_strip_model_upper_bounds_exact(self):
+        meta = make_meta(32, width=16)
+        pattern = DependencePattern.eight_neighbor("op")
+        strip = BandwidthPredictor("strip").predict(meta, pattern)
+        exact = BandwidthPredictor("exact").predict(meta, pattern)
+        assert strip.offload_halo_bytes >= exact.offload_halo_bytes

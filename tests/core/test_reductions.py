@@ -1,0 +1,156 @@
+"""Tests for reduction kernels and their offloaded execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveStorageClient
+from repro.errors import ActiveStorageError, KernelError, UnknownKernelError
+from repro.hw import Cluster
+from repro.kernels import (
+    HistogramReduction,
+    ReductionRegistry,
+    StatsReduction,
+    ThresholdCountReduction,
+    default_reductions,
+)
+from repro.metrics import TrafficMeter
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem, phantom_image
+
+DATA = phantom_image(96, 128, rng=np.random.default_rng(71))
+
+
+class TestReductionKernels:
+    def test_stats_reference(self):
+        out = StatsReduction().reference(DATA)
+        assert out["min"] == pytest.approx(DATA.min())
+        assert out["max"] == pytest.approx(DATA.max())
+        assert out["mean"] == pytest.approx(DATA.mean())
+        assert out["var"] == pytest.approx(DATA.var(), rel=1e-9)
+        assert out["n"] == DATA.size
+
+    def test_stats_combine_matches_whole(self):
+        k = StatsReduction()
+        flat = DATA.reshape(-1)
+        merged = k.combine(k.partial(flat[:1000]), k.partial(flat[1000:]))
+        whole = k.partial(flat)
+        for key in whole:
+            assert merged[key] == pytest.approx(whole[key])
+
+    def test_stats_empty_partial_is_identity(self):
+        k = StatsReduction()
+        merged = k.combine(k.partial(np.empty(0)), k.partial(DATA))
+        whole = k.partial(DATA.reshape(-1))
+        for key in whole:
+            assert merged[key] == pytest.approx(whole[key])
+
+    def test_histogram_reference_matches_numpy(self):
+        k = HistogramReduction(lo=0.0, hi=1.2, bins=32)
+        expected, _ = np.histogram(DATA.reshape(-1), bins=32, range=(0.0, 1.2))
+        assert np.array_equal(k.reference(DATA), expected)
+
+    def test_histogram_combine_is_binwise_sum(self):
+        k = HistogramReduction(bins=16)
+        a = k.partial(DATA.reshape(-1)[:500])
+        b = k.partial(DATA.reshape(-1)[500:])
+        assert np.array_equal(k.combine(a, b), k.partial(DATA.reshape(-1)))
+
+    def test_histogram_invalid_params_rejected(self):
+        with pytest.raises(KernelError):
+            HistogramReduction(lo=1.0, hi=0.0)
+        with pytest.raises(KernelError):
+            HistogramReduction(bins=0)
+
+    def test_threshold_count(self):
+        k = ThresholdCountReduction(threshold=0.3)
+        assert k.reference(DATA) == int((DATA > 0.3).sum())
+
+    def test_patterns_are_independent(self):
+        for kernel in default_reductions:
+            assert kernel.pattern().is_independent
+
+    def test_registry_lookup_and_errors(self):
+        assert "stats" in default_reductions
+        with pytest.raises(UnknownKernelError):
+            default_reductions.get("bogus")
+        reg = ReductionRegistry()
+        reg.register(StatsReduction())
+        with pytest.raises(KernelError):
+            reg.register(StatsReduction())
+
+
+class TestOffloadedReductions:
+    @pytest.fixture
+    def world(self):
+        cluster = Cluster.build(n_compute=2, n_storage=4)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(128, 256, rng=np.random.default_rng(72))
+        pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+        return cluster, pfs, dem
+
+    def test_stats_offload_matches_reference(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        res = drive(cluster, asc.submit_reduction("stats", "dem"))
+        ref = StatsReduction().reference(dem)
+        for key in ref:
+            assert res["value"][key] == pytest.approx(ref[key])
+
+    def test_histogram_offload_matches_reference(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        res = drive(cluster, asc.submit_reduction("histogram", "dem"))
+        lo, hi = 0.0, 1.0  # default HistogramReduction range
+        expected, _ = np.histogram(dem.reshape(-1), bins=64, range=(lo, hi))
+        assert np.array_equal(res["value"], expected)
+
+    def test_reduction_moves_almost_nothing(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        meter = TrafficMeter(cluster)
+        drive(cluster, asc.submit_reduction("count-above", "dem"))
+        traffic = meter.delta()
+        assert traffic.wire_bytes < 0.05 * dem.nbytes
+        assert traffic.server_bytes == 0  # no dependence, no halo
+
+    def test_reduction_on_replicated_layout_counts_once(self, drive):
+        """Replicated strips must not be double-counted: only primary
+        runs contribute partials."""
+        cluster = Cluster.build(n_compute=1, n_storage=4)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(128, 64, rng=np.random.default_rng(73))
+        pfs.client("c0").ingest(
+            "dem", dem, pfs.replicated_grouped(group=2, halo_strips=1)
+        )
+        asc = ActiveStorageClient(pfs, home="c0")
+        res = drive(cluster, asc.submit_reduction("stats", "dem"))
+        assert res["value"]["n"] == dem.size
+        assert res["value"]["sum"] == pytest.approx(dem.sum())
+
+    def test_unknown_reduction_rejected(self, world, drive):
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        with pytest.raises(UnknownKernelError):
+            drive(cluster, asc.submit_reduction("no-such-reduction", "dem"))
+
+    def test_reduction_faster_than_client_side_scan(self, world, drive):
+        """The classic active-storage result: the offloaded scan beats
+        shipping the dataset to a client."""
+        cluster, pfs, dem = world
+        asc = ActiveStorageClient(pfs, home="c0")
+        res = drive(cluster, asc.submit_reduction("stats", "dem"))
+
+        cluster2 = Cluster.build(n_compute=2, n_storage=4)
+        pfs2 = ParallelFileSystem(cluster2, strip_size=4 * KiB)
+        pfs2.client("c0").ingest("dem", dem, pfs2.round_robin())
+
+        def client_side():
+            start = cluster2.env.now
+            raw = yield pfs2.client("c0").read("dem", 0, dem.nbytes)
+            yield cluster2.node("c0").cpu.run_kernel("stats", dem.size)
+            StatsReduction().partial(raw.view(np.float64))
+            return cluster2.env.now - start
+
+        ts_elapsed = drive(cluster2, cluster2.env.process(client_side()))
+        assert res["elapsed"] < 0.5 * ts_elapsed

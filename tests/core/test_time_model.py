@@ -1,0 +1,173 @@
+"""Tests for the time-aware decision extension.
+
+The headline property: on a platform whose network outruns its disks,
+the byte-count engine and the time-aware engine *disagree* about
+offloading a pre-distributed file — and the time-aware engine's choice
+is the one the simulator actually measures as faster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformSpec
+from repro.core import DecisionEngine, KernelFeatures, LayoutOptimizer
+from repro.core.time_model import TimeAwareDecisionEngine, TimeModel
+from repro.hw import Cluster
+from repro.kernels import DependencePattern
+from repro.pfs import ParallelFileSystem, RoundRobinLayout
+from repro.pfs.datafile import FileMeta
+from repro.schemes import DynamicActiveStorageScheme, TraditionalScheme
+from repro.units import GiB, KiB, MiB, us
+from repro.workloads import fractal_dem
+
+SERVERS = [f"s{i}" for i in range(4)]
+EIGHT = DependencePattern.eight_neighbor("flow-routing")
+
+
+def make_meta(n_strips=64, layout=None, width=32, strip=512):
+    layout = layout or RoundRobinLayout(SERVERS, strip)
+    size = n_strips * strip
+    n_elements = size // 8
+    return FileMeta(
+        "f", size=size, layout=layout, shape=(n_elements // width, width)
+    )
+
+
+@pytest.fixture
+def engine_pair():
+    def build(spec):
+        features = KernelFeatures.from_registry()
+        byte_engine = DecisionEngine(features=features)
+        time_engine = TimeAwareDecisionEngine(
+            TimeModel(spec, n_storage=4, n_compute=4), features=features
+        )
+        return byte_engine, time_engine
+
+    return build
+
+
+class TestTimeModel:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            TimeModel(PlatformSpec(), 0, 1)
+
+    def test_normal_time_scales_with_size(self):
+        tm = TimeModel(PlatformSpec(), 4, 4)
+        small = tm.normal_seconds(make_meta(16), "gaussian")
+        large = tm.normal_seconds(make_meta(64), "gaussian")
+        assert large == pytest.approx(4 * small, rel=1e-6)
+
+    def test_redistribution_counts_two_disk_passes(self):
+        spec = PlatformSpec()
+        tm = TimeModel(spec, 4, 4)
+        moved = 4 * MiB
+        expected = 2 * moved / (4 * spec.disk_bandwidth) + moved / (
+            4 * spec.nic_bandwidth
+        )
+        assert tm.redistribution_seconds(moved) == pytest.approx(expected)
+
+    def test_estimate_contains_all_three_paths(self, engine_pair):
+        byte_engine, time_engine = engine_pair(PlatformSpec())
+        est = time_engine.time_model.estimate(
+            make_meta(), EIGHT, time_engine, pipeline_length=2
+        )
+        assert est.normal > 0
+        assert est.offload_in_place > 0
+        assert est.offload_redistributed > 0
+
+
+class TestDecisionsOnPaperPlatform:
+    """On the paper's (network-scarce) platform both engines agree."""
+
+    def test_both_accept_predistributed_offload(self, engine_pair):
+        byte_engine, time_engine = engine_pair(PlatformSpec())
+        plan = LayoutOptimizer().plan(make_meta(), EIGHT)
+        meta = make_meta(layout=plan.layout)
+        assert byte_engine.decide(meta, "flow-routing").accept
+        assert time_engine.decide(meta, "flow-routing").accept
+
+    def test_both_reject_cold_one_shot(self, engine_pair):
+        byte_engine, time_engine = engine_pair(PlatformSpec())
+        meta = make_meta()
+        assert not byte_engine.decide(meta, "flow-routing").accept
+        assert not time_engine.decide(meta, "flow-routing").accept
+
+
+class TestDecisionsOnFatNetwork:
+    """Network (8 GiB/s) far outruns the disks (0.25 GiB/s): moving
+    data is cheap, touching disks twice is not."""
+
+    SPEC = PlatformSpec(
+        nic_bandwidth=8 * GiB,
+        nic_latency=5 * us,
+        disk_bandwidth=0.25 * GiB,
+        disk_seek=10 * us,
+    )
+
+    def predistributed_meta(self):
+        plan = LayoutOptimizer().plan(make_meta(), EIGHT)
+        return make_meta(layout=plan.layout)
+
+    def test_engines_disagree(self, engine_pair):
+        byte_engine, time_engine = engine_pair(self.SPEC)
+        meta = self.predistributed_meta()
+        # Byte engine: halo 0 + small replication < N -> offload.
+        assert byte_engine.decide(meta, "flow-routing").accept
+        # Time engine: offload means two disk passes on slow disks while
+        # the fat network makes client-side processing cheap.
+        assert not time_engine.decide(meta, "flow-routing").accept
+
+    def test_time_engine_choice_is_actually_faster(self):
+        """Measure both choices in the simulator: on the fat-network
+        platform, serving the pre-distributed request as normal I/O
+        (the time-aware verdict) beats offloading it (the byte-count
+        verdict)."""
+
+        def run(force_offload: bool) -> float:
+            cluster = Cluster.build(n_compute=8, n_storage=8, spec=self.SPEC)
+            pfs = ParallelFileSystem(cluster, strip_size=16 * KiB)
+            dem = fractal_dem(512, 512, rng=np.random.default_rng(31))
+            meta_probe = pfs.metadata.create(
+                "probe", dem.nbytes, pfs.round_robin(), shape=dem.shape
+            )
+            plan = LayoutOptimizer().plan(
+                meta_probe, KernelFeatures.from_registry().get("gaussian")
+            )
+            pfs.metadata.unlink("probe")
+            pfs.client("c0").ingest("dem", dem, plan.layout)
+            if force_offload:
+                from repro.core import ActiveRequest, ActiveStorageClient
+
+                asc = ActiveStorageClient(pfs, home="c0")
+                req = ActiveRequest("gaussian", "dem", "out")
+                result = cluster.run(
+                    until=asc.execute_offload(req, asc.decide(req))
+                )
+                return result.elapsed
+            scheme = TraditionalScheme(pfs)
+            result = cluster.run(until=scheme.run_operation("gaussian", "dem", "out"))
+            return result.elapsed
+
+        t_offload = run(force_offload=True)
+        t_normal = run(force_offload=False)
+        assert t_normal < t_offload
+
+
+class TestTimeAwareThroughScheme:
+    def test_scheme_accepts_custom_engine(self, drive):
+        cluster = Cluster.build(n_compute=4, n_storage=4)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(128, 256, rng=np.random.default_rng(7))
+        from repro.harness.platform import ingest_for_scheme
+
+        ingest_for_scheme(pfs, "DAS", "in", dem, "gaussian")
+        engine = TimeAwareDecisionEngine(
+            TimeModel(cluster.spec, 4, 4), features=KernelFeatures.from_registry()
+        )
+        scheme = DynamicActiveStorageScheme(pfs, engine=engine)
+        res = drive(cluster, scheme.run_operation("gaussian", "in", "out"))
+        assert res.offloaded  # paper platform: offload is right
+        from repro.kernels import default_registry
+
+        ref = default_registry.get("gaussian").reference(dem)
+        assert np.array_equal(pfs.client("c0").collect("out"), ref)

@@ -1,0 +1,69 @@
+"""Tests for report export (JSON/CSV) and the runner's --output-dir."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import report_to_csv, report_to_json, save_report
+from repro.harness.experiments import ExperimentReport, table1
+from repro.harness.runner import main
+
+
+@pytest.fixture
+def report():
+    return table1()
+
+
+def test_json_contains_rows_and_checks(report):
+    data = json.loads(report_to_json(report))
+    assert data["experiment"] == "table1"
+    assert data["all_checks_pass"] is True
+    assert len(data["rows"]) == 3
+    assert all("claim" in c and "passed" in c for c in data["checks"])
+
+
+def test_csv_round_trips_rows(report):
+    text = report_to_csv(report)
+    rows = list(csv.DictReader(text.splitlines()))
+    assert len(rows) == 3
+    assert {r["name"] for r in rows} == {
+        "flow-routing",
+        "flow-accumulation",
+        "gaussian",
+    }
+
+
+def test_csv_handles_heterogeneous_rows():
+    report = ExperimentReport(
+        experiment="x",
+        title="t",
+        rows=[{"a": 1}, {"a": 2, "b": "extra"}],
+    )
+    rows = list(csv.DictReader(report_to_csv(report).splitlines()))
+    assert rows[0]["b"] == ""
+    assert rows[1]["b"] == "extra"
+
+
+def test_empty_report_csv():
+    report = ExperimentReport(experiment="x", title="t", rows=[])
+    assert report_to_csv(report) == ""
+
+
+def test_save_report_by_extension(report, tmp_path):
+    j = save_report(report, tmp_path / "out" / "table1.json")
+    c = save_report(report, tmp_path / "out" / "table1.csv")
+    assert json.loads(j.read_text())["experiment"] == "table1"
+    assert c.read_text().startswith("name,")
+
+
+def test_save_report_unknown_extension(report, tmp_path):
+    with pytest.raises(HarnessError):
+        save_report(report, tmp_path / "table1.xlsx")
+
+
+def test_runner_output_dir(tmp_path, capsys):
+    assert main(["table1", "--output-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.json").exists()
+    assert (tmp_path / "table1.csv").exists()

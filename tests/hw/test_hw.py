@@ -1,0 +1,147 @@
+"""Unit tests for CPU, disk, node and cluster models."""
+
+import pytest
+
+from repro.config import PlatformSpec, SimConfig
+from repro.errors import SimulationError
+from repro.hw import KIND_COMPUTE, KIND_STORAGE, Cluster
+from repro.units import GiB, MiB
+
+
+class TestCPU:
+    def test_kernel_seconds_scales_with_cores(self, small_cluster):
+        cpu = small_cluster.node("c0").cpu
+        spec = small_cluster.spec
+        n = 1_000_000
+        expected = n * spec.kernel_sec_per_element("gaussian") / spec.cores
+        assert cpu.kernel_seconds("gaussian", n) == pytest.approx(expected)
+
+    def test_unknown_kernel_uses_default_cost(self, small_cluster):
+        cpu = small_cluster.node("c0").cpu
+        spec = small_cluster.spec
+        assert cpu.kernel_seconds("mystery", 100) == pytest.approx(
+            100 * spec.kernel_cost["default"] / spec.cores
+        )
+
+    def test_engine_serialises_invocations(self, small_cluster, drive):
+        cpu = small_cluster.node("c0").cpu
+        env = small_cluster.env
+
+        def main():
+            a = cpu.run_kernel("gaussian", 10_000_000)
+            b = cpu.run_kernel("gaussian", 10_000_000)
+            yield a & b
+            return env.now
+
+        t = drive(small_cluster, env.process(main()))
+        one = cpu.kernel_seconds("gaussian", 10_000_000)
+        assert t == pytest.approx(2 * one)
+
+    def test_negative_service_time_rejected(self, small_cluster, drive):
+        cpu = small_cluster.node("c0").cpu
+
+        def main():
+            yield cpu.service(-1.0)
+
+        with pytest.raises(SimulationError):
+            drive(small_cluster, small_cluster.env.process(main()))
+
+    def test_busy_time_accounted(self, small_cluster, drive):
+        cpu = small_cluster.node("c0").cpu
+
+        def main():
+            yield cpu.service(0.25, "maintenance")
+
+        drive(small_cluster, small_cluster.env.process(main()))
+        assert small_cluster.monitors.counter("cpu.busy.c0").value == pytest.approx(0.25)
+
+
+class TestDisk:
+    def test_io_seconds_seek_plus_stream(self, small_cluster):
+        disk = small_cluster.node("s0").disk
+        assert disk.io_seconds(disk.bandwidth) == pytest.approx(disk.seek + 1.0)
+
+    def test_compute_node_has_no_disk(self, small_cluster):
+        assert small_cluster.node("c0").disk is None
+        assert small_cluster.node("s0").disk is not None
+
+    def test_reads_serialise_on_the_arm(self, small_cluster, drive):
+        disk = small_cluster.node("s0").disk
+        env = small_cluster.env
+        size = 100 * MiB
+
+        def main():
+            a = disk.read(size)
+            b = disk.read(size)
+            yield a & b
+            return env.now
+
+        t = drive(small_cluster, env.process(main()))
+        assert t == pytest.approx(2 * disk.io_seconds(size))
+
+    def test_write_and_read_accounted_separately(self, small_cluster, drive):
+        disk = small_cluster.node("s0").disk
+
+        def main():
+            yield disk.read(1000)
+            yield disk.write(500)
+
+        drive(small_cluster, small_cluster.env.process(main()))
+        m = small_cluster.monitors
+        assert m.counter("disk.read.s0").value == 1000
+        assert m.counter("disk.write.s0").value == 500
+
+    def test_negative_size_rejected(self, small_cluster, drive):
+        disk = small_cluster.node("s0").disk
+
+        def main():
+            yield disk.read(-1)
+
+        with pytest.raises(SimulationError):
+            drive(small_cluster, small_cluster.env.process(main()))
+
+
+class TestCluster:
+    def test_build_names_and_kinds(self):
+        cl = Cluster.build(n_compute=2, n_storage=3)
+        assert cl.compute_names == ["c0", "c1"]
+        assert cl.storage_names == ["s0", "s1", "s2"]
+        assert cl.node("c0").kind == KIND_COMPUTE
+        assert cl.node("s0").kind == KIND_STORAGE
+
+    def test_build_requires_storage(self):
+        with pytest.raises(SimulationError):
+            Cluster.build(n_compute=1, n_storage=0)
+
+    def test_unknown_node_lookup(self, small_cluster):
+        with pytest.raises(SimulationError):
+            small_cluster.node("zz9")
+
+    def test_duplicate_node_rejected(self, small_cluster):
+        with pytest.raises(SimulationError):
+            small_cluster.add_node("c0", KIND_COMPUTE)
+
+    def test_unknown_kind_rejected(self, small_cluster):
+        with pytest.raises(SimulationError):
+            small_cluster.add_node("x0", "quantum")
+
+    def test_failure_injection_roundtrip(self, small_cluster):
+        node = small_cluster.node("s1")
+        assert node.is_up
+        node.fail()
+        assert not node.is_up
+        node.recover()
+        assert node.is_up
+
+    def test_custom_spec_and_seed_propagate(self):
+        spec = PlatformSpec(nic_bandwidth=2 * GiB, cores=4)
+        cl = Cluster.build(1, 1, spec=spec, sim_config=SimConfig(seed=99))
+        assert cl.node("s0").nic.bandwidth == 2 * GiB
+        assert cl.spec.cores == 4
+        assert cl.rand.root_seed == 99
+
+    def test_storage_and_compute_partitions(self, small_cluster):
+        assert len(small_cluster.storage_nodes) == 4
+        assert len(small_cluster.compute_nodes) == 4
+        assert all(n.is_storage for n in small_cluster.storage_nodes)
+        assert all(n.is_compute for n in small_cluster.compute_nodes)

@@ -1,0 +1,139 @@
+"""Integration tests: concurrent clients and overlapping operations.
+
+The data servers and AS helpers are shared services; several clients
+and several offloaded operations must interleave without corrupting
+each other's files or stats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveRequest, ActiveStorageClient
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem, phantom_image
+from repro.harness.platform import ingest_for_scheme
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=4, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    return cluster, pfs
+
+
+def test_concurrent_reads_from_many_clients(world, drive):
+    cluster, pfs = world
+    dem = fractal_dem(96, 128, rng=np.random.default_rng(61))
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    raw = dem.view(np.uint8).reshape(-1)
+
+    def reader(home, offset, length, out):
+        data = yield pfs.client(home).read("dem", offset, length)
+        out[home] = data
+
+    out = {}
+    jobs = [
+        cluster.env.process(reader(f"c{i}", i * 10_000, 20_000, out))
+        for i in range(4)
+    ]
+
+    def main():
+        for job in jobs:
+            yield job
+
+    drive(cluster, cluster.env.process(main()))
+    for i in range(4):
+        assert np.array_equal(out[f"c{i}"], raw[i * 10_000 : i * 10_000 + 20_000])
+
+
+def test_two_offloads_on_different_files_interleave(world, drive):
+    cluster, pfs = world
+    dem = fractal_dem(128, 128, rng=np.random.default_rng(62))
+    img = phantom_image(128, 128, rng=np.random.default_rng(63))
+    ingest_for_scheme(pfs, "DAS", "dem", dem, "flow-routing")
+    ingest_for_scheme(pfs, "DAS", "img", img, "gaussian")
+
+    asc0 = ActiveStorageClient(pfs, home="c0")
+    # Second client reuses the already-running AS helper processes.
+    asc1 = ActiveStorageClient(pfs, home="c1", start_servers=False)
+    asc1.servers = asc0.servers
+
+    def main():
+        a = asc0.submit(ActiveRequest("flow-routing", "dem", "dirs"))
+        b = asc1.submit(ActiveRequest("gaussian", "img", "smooth"))
+        ra = yield a
+        rb = yield b
+        return ra, rb
+
+    ra, rb = drive(cluster, cluster.env.process(main()))
+    assert ra.offloaded and rb.offloaded
+    client = pfs.client("c0")
+    assert np.array_equal(
+        client.collect("dirs"), default_registry.get("flow-routing").reference(dem)
+    )
+    assert np.array_equal(
+        client.collect("smooth"), default_registry.get("gaussian").reference(img)
+    )
+
+
+def test_concurrent_offloads_slower_than_isolated_but_correct(world, drive):
+    """Two simultaneous operations share the servers: both complete,
+    both are correct, and the makespan exceeds a single isolated op."""
+    cluster, pfs = world
+    dem = fractal_dem(128, 128, rng=np.random.default_rng(64))
+    ingest_for_scheme(pfs, "DAS", "a", dem, "gaussian")
+    ingest_for_scheme(pfs, "DAS", "b", dem, "gaussian")
+    asc = ActiveStorageClient(pfs, home="c0")
+
+    def both():
+        j1 = asc.submit(ActiveRequest("gaussian", "a", "a.out"))
+        j2 = asc.submit(ActiveRequest("gaussian", "b", "b.out"))
+        r1 = yield j1
+        r2 = yield j2
+        return max(r1.elapsed, r2.elapsed)
+
+    start = cluster.env.now
+    makespan = drive(cluster, cluster.env.process(both()))
+
+    # Isolated baseline on a fresh world.
+    cluster2 = Cluster.build(n_compute=4, n_storage=4)
+    pfs2 = ParallelFileSystem(cluster2, strip_size=4 * KiB)
+    ingest_for_scheme(pfs2, "DAS", "a", dem, "gaussian")
+    asc2 = ActiveStorageClient(pfs2, home="c0")
+    single = drive(
+        cluster2, asc2.submit(ActiveRequest("gaussian", "a", "a.out"))
+    ).elapsed
+
+    assert makespan > single
+    ref = default_registry.get("gaussian").reference(dem)
+    assert np.array_equal(pfs.client("c0").collect("a.out"), ref)
+    assert np.array_equal(pfs.client("c0").collect("b.out"), ref)
+
+
+def test_reads_during_offload_see_consistent_input(world, drive):
+    """A client reading the *input* file while it is being processed
+    must see unmodified input bytes (operations write only the output
+    file)."""
+    cluster, pfs = world
+    dem = fractal_dem(128, 128, rng=np.random.default_rng(65))
+    ingest_for_scheme(pfs, "DAS", "dem", dem, "gaussian")
+    asc = ActiveStorageClient(pfs, home="c0")
+    raw = dem.view(np.uint8).reshape(-1)
+
+    def reader():
+        got = yield pfs.client("c1").read("dem", 0, dem.nbytes)
+        return got
+
+    def main():
+        job = asc.submit(ActiveRequest("gaussian", "dem", "out"))
+        read = cluster.env.process(reader())
+        res = yield job
+        data = yield read
+        return res, data
+
+    res, data = drive(cluster, cluster.env.process(main()))
+    assert np.array_equal(data, raw)
+    assert res.offloaded

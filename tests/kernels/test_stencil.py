@@ -1,0 +1,121 @@
+"""Unit tests for window assembly and padding machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    Window,
+    assemble_rows,
+    extract_core,
+    neighbor_stack,
+    pad_rows,
+    window_bounds,
+)
+from repro.kernels.stencil import D8_OFFSETS
+
+
+def make_window(n=100, width=10, lo=20, first=30, end=60):
+    data = np.arange(lo, min(n, end + 25), dtype=np.float64)
+    return Window(
+        data=data, lo=lo, first=first, end=end, width=width, n_elements=n
+    )
+
+
+class TestWindow:
+    def test_valid_window(self):
+        w = make_window()
+        assert w.hi == w.lo + w.data.size
+
+    def test_core_outside_window_rejected(self):
+        with pytest.raises(KernelError):
+            Window(
+                data=np.zeros(5), lo=10, first=5, end=12, width=10, n_elements=100
+            )
+
+    def test_raster_width_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            Window(
+                data=np.zeros(5), lo=0, first=0, end=5, width=7, n_elements=100
+            )
+
+
+class TestAssembleRows:
+    def test_lifts_flat_window_to_rows(self):
+        w = make_window(n=100, width=10, lo=25, first=30, end=40)
+        block, r0 = assemble_rows(w)
+        assert r0 == 2
+        flat = block.reshape(-1)
+        # Cells inside the window carry their element index values.
+        assert flat[5] == 25  # element 25 at position 25 - 20
+        assert np.isnan(flat[0])  # element 20..24 are outside the window
+
+    def test_full_raster_window_has_no_nans(self):
+        data = np.arange(100, dtype=np.float64)
+        w = Window(data=data, lo=0, first=0, end=100, width=10, n_elements=100)
+        block, r0 = assemble_rows(w)
+        assert r0 == 0
+        assert not np.isnan(block).any()
+        assert np.array_equal(block, data.reshape(10, 10))
+
+
+class TestPadRows:
+    def test_edge_padding_replicates_border(self):
+        block = np.arange(6, dtype=np.float64).reshape(2, 3)
+        p = pad_rows(block, "edge")
+        assert p.shape == (4, 5)
+        assert p[0, 0] == block[0, 0]
+        assert p[-1, -1] == block[-1, -1]
+        assert p[0, 2] == block[0, 1]
+
+    def test_constant_padding(self):
+        block = np.ones((2, 2))
+        p = pad_rows(block, np.inf)
+        assert np.isinf(p[0]).all()
+        assert p[1, 1] == 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(KernelError):
+            pad_rows(np.zeros(5))
+
+
+class TestNeighborStack:
+    def test_stack_order_matches_d8_offsets(self):
+        block = np.arange(25, dtype=np.float64).reshape(5, 5)
+        p = pad_rows(block, 0.0)
+        stack = neighbor_stack(p)
+        assert stack.shape == (8, 5, 5)
+        centre = (2, 2)
+        for k, (dr, dc) in enumerate(D8_OFFSETS):
+            assert stack[k][centre] == block[2 + dr, 2 + dc]
+
+    def test_d8_offsets_antisymmetric(self):
+        for k, (dr, dc) in enumerate(D8_OFFSETS):
+            assert D8_OFFSETS[7 - k] == (-dr, -dc)
+
+
+class TestExtractCore:
+    def test_extract_returns_core_slice(self):
+        w = make_window(n=100, width=10, lo=20, first=30, end=60)
+        block, r0 = assemble_rows(w)
+        out = extract_core(block, r0, w)
+        assert out.tolist() == list(range(30, 60))
+
+    def test_core_escaping_block_rejected(self):
+        w = make_window()
+        block, r0 = assemble_rows(w)
+        with pytest.raises(KernelError):
+            extract_core(block[:1], r0 + 5, w)
+
+
+class TestWindowBounds:
+    def test_clamps_to_file(self):
+        assert window_bounds(0, 10, 5, 5, 100) == (0, 15)
+        assert window_bounds(95, 5, 5, 5, 100) == (90, 100)
+        assert window_bounds(50, 10, 5, 5, 100) == (45, 65)
+
+    def test_invalid_core_rejected(self):
+        with pytest.raises(KernelError):
+            window_bounds(-1, 5, 0, 0, 100)
+        with pytest.raises(KernelError):
+            window_bounds(99, 5, 0, 0, 100)

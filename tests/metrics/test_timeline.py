@@ -1,0 +1,94 @@
+"""Tests for timeline reconstruction and utilisation reporting."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.hw import Cluster
+from repro.metrics import Timeline, render_gantt, utilization_table
+from repro.pfs import ParallelFileSystem
+from repro.schemes import NormalActiveStorageScheme
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def traced_run():
+    cluster = Cluster.build(
+        n_compute=2, n_storage=2, sim_config=SimConfig(trace=True)
+    )
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    dem = fractal_dem(64, 64, rng=np.random.default_rng(44))
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    scheme = NormalActiveStorageScheme(pfs)
+    cluster.run(until=scheme.run_operation("gaussian", "dem", "out"))
+    return cluster
+
+
+def test_timeline_collects_cpu_and_disk_intervals(traced_run):
+    tl = Timeline.from_monitors(traced_run.monitors)
+    assert tl.horizon > 0
+    # Both storage nodes computed and did disk I/O.
+    for node in ("s0", "s1"):
+        assert tl.busy_seconds(node, "cpu") > 0
+        assert tl.busy_seconds(node, "disk") > 0
+
+
+def test_intervals_are_well_formed(traced_run):
+    tl = Timeline.from_monitors(traced_run.monitors)
+    for (node, kind), intervals in tl.busy.items():
+        for a, b in intervals:
+            assert 0 <= a < b <= tl.horizon + 1e-12
+
+
+def test_busy_seconds_merges_overlaps(env):
+    from repro.sim import MonitorHub
+    from repro.sim.monitor import TraceRecord
+
+    hub = MonitorHub(env, trace=True)
+    hub.trace.extend(
+        [
+            TraceRecord(2.0, "cpu", "n:kernel", {"seconds": 2.0}),  # [0, 2)
+            TraceRecord(3.0, "cpu", "n:kernel", {"seconds": 2.0}),  # [1, 3)
+            TraceRecord(10.0, "cpu", "n:kernel", {"seconds": 1.0}),  # [9, 10)
+        ]
+    )
+    tl = Timeline.from_monitors(hub)
+    assert tl.busy_seconds("n", "cpu") == pytest.approx(4.0)  # [0,3) + [9,10)
+    assert tl.utilization("n", "cpu") == pytest.approx(0.4)
+
+
+def test_utilization_bounded(traced_run):
+    tl = Timeline.from_monitors(traced_run.monitors)
+    for node in tl.nodes():
+        for kind in ("cpu", "disk"):
+            assert 0.0 <= tl.utilization(node, kind) <= 1.0
+
+
+def test_gantt_renders_rows(traced_run):
+    tl = Timeline.from_monitors(traced_run.monitors)
+    art = render_gantt(tl, width=40)
+    assert "s0" in art and "#" in art
+    for line in art.splitlines():
+        assert line.endswith("|")
+
+
+def test_gantt_empty_timeline():
+    from repro.sim import Environment, MonitorHub
+
+    hub = MonitorHub(Environment(), trace=True)
+    assert "empty" in render_gantt(Timeline.from_monitors(hub))
+
+
+def test_utilization_table_rows(traced_run):
+    tl = Timeline.from_monitors(traced_run.monitors)
+    rows = utilization_table(tl)
+    assert {row["node"] for row in rows} >= {"s0", "s1"}
+    for row in rows:
+        assert row["cpu_util"] <= 1.0
+
+
+def test_untraced_run_yields_empty_timeline():
+    cluster = Cluster.build(n_compute=1, n_storage=1)  # trace off
+    tl = Timeline.from_monitors(cluster.monitors)
+    assert tl.busy == {}

@@ -1,0 +1,96 @@
+"""Tests for the oversubscribed-bisection fabric model."""
+
+import pytest
+
+from repro.config import PlatformSpec
+from repro.errors import NetworkError
+from repro.hw import Cluster
+from repro.units import MiB, us
+
+
+def spec(bisection):
+    return PlatformSpec(
+        nic_bandwidth=100 * MiB,
+        nic_latency=0.0,
+        rpc_overhead=0.0,
+        bisection_bandwidth=bisection,
+    )
+
+
+def transfer_time(cl, src, dst, size):
+    def main():
+        yield cl.transport.send(src, dst, size)
+        return cl.env.now
+
+    return cl.run(until=cl.env.process(main()))
+
+
+def test_nonblocking_by_default():
+    cl = Cluster.build(n_compute=2, n_storage=2, spec=spec(0))
+    t = transfer_time(cl, "c0", "s0", 100 * MiB)
+    assert t == pytest.approx(1.0, rel=1e-6)
+
+
+def test_cross_partition_flow_capped_by_bisection():
+    cl = Cluster.build(n_compute=2, n_storage=2, spec=spec(50 * MiB))
+    t = transfer_time(cl, "c0", "s0", 100 * MiB)
+    assert t == pytest.approx(2.0, rel=1e-6)  # 100 MiB at 50 MiB/s
+
+
+def test_intra_partition_flow_unaffected():
+    cl = Cluster.build(n_compute=2, n_storage=2, spec=spec(50 * MiB))
+    t = transfer_time(cl, "s0", "s1", 100 * MiB)
+    assert t == pytest.approx(1.0, rel=1e-6)  # NIC rate, no bisection
+
+
+def test_bisection_shared_among_cross_flows():
+    cl = Cluster.build(n_compute=2, n_storage=2, spec=spec(100 * MiB))
+
+    def main():
+        a = cl.transport.send("c0", "s0", 100 * MiB)
+        b = cl.transport.send("c1", "s1", 100 * MiB)
+        yield a & b
+        return cl.env.now
+
+    t = cl.run(until=cl.env.process(main()))
+    # Two flows share the 100 MiB/s bisection: 200 MiB total -> 2 s.
+    assert t == pytest.approx(2.0, rel=1e-3)
+
+
+def test_double_configuration_rejected():
+    cl = Cluster.build(n_compute=1, n_storage=1, spec=spec(10 * MiB))
+    with pytest.raises(NetworkError):
+        cl.fabric.set_bisection_bandwidth(20 * MiB)
+
+
+def test_oversubscription_hurts_ts_more_than_das():
+    """The experiment the model enables: throttling the compute<->storage
+    bisection slows client-side processing (TS) but barely touches a
+    pre-distributed DAS offload whose traffic stays inside the storage
+    partition."""
+    import numpy as np
+
+    from repro.harness.platform import ingest_for_scheme
+    from repro.pfs import ParallelFileSystem
+    from repro.schemes import DynamicActiveStorageScheme, TraditionalScheme
+    from repro.units import KiB
+    from repro.workloads import fractal_dem
+
+    def run(scheme_label, bisection):
+        base = PlatformSpec(bisection_bandwidth=bisection)
+        cl = Cluster.build(n_compute=4, n_storage=4, spec=base)
+        pfs = ParallelFileSystem(cl, strip_size=16 * KiB)
+        dem = fractal_dem(256, 512, rng=np.random.default_rng(3))
+        ingest_for_scheme(pfs, scheme_label, "in", dem, "gaussian")
+        scheme = (
+            TraditionalScheme(pfs)
+            if scheme_label == "TS"
+            else DynamicActiveStorageScheme(pfs)
+        )
+        return cl.run(until=scheme.run_operation("gaussian", "in", "out")).elapsed
+
+    narrow = 64 * MiB  # heavily oversubscribed
+    ts_slowdown = run("TS", narrow) / run("TS", 0)
+    das_slowdown = run("DAS", narrow) / run("DAS", 0)
+    assert ts_slowdown > 1.5
+    assert das_slowdown < 1.1

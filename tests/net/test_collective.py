@@ -1,0 +1,102 @@
+"""Unit tests for collective operations."""
+
+import pytest
+
+from repro.config import PlatformSpec
+from repro.hw import Cluster
+from repro.units import GiB, us
+
+
+@pytest.fixture
+def cl():
+    spec = PlatformSpec(nic_bandwidth=1 * GiB, nic_latency=10 * us, rpc_overhead=0.0)
+    return Cluster.build(n_compute=1, n_storage=4, spec=spec)
+
+
+def test_broadcast_reaches_every_other_node(cl, drive):
+    nodes = ["s0", "s1", "s2", "s3"]
+
+    def main():
+        yield cl.collectives.broadcast("c0", nodes, 1000, payload="cfg")
+        got = []
+        for n in nodes:
+            msg = yield cl.transport.recv(n)
+            got.append((n, msg.payload))
+        return got
+
+    got = drive(cl, cl.env.process(main()))
+    assert sorted(got) == [(n, "cfg") for n in nodes]
+    assert cl.monitors.counter("net.tx.c0").value == 4000
+
+
+def test_broadcast_skips_root(cl, drive):
+    def main():
+        yield cl.collectives.broadcast("s0", ["s0", "s1"], 500)
+
+    drive(cl, cl.env.process(main()))
+    assert cl.monitors.counter("net.tx.s0").value == 500  # only to s1
+
+
+def test_scatter_distinct_parts(cl, drive):
+    parts = {"s0": ("alpha", 100), "s1": ("beta", 200)}
+
+    def main():
+        yield cl.collectives.scatter("c0", parts)
+        a = yield cl.transport.recv("s0")
+        b = yield cl.transport.recv("s1")
+        return (a.payload, b.payload)
+
+    assert drive(cl, cl.env.process(main())) == ("alpha", "beta")
+    assert cl.monitors.counter("net.tx.c0").value == 300
+
+
+def test_gather_collects_payloads(cl, drive):
+    senders = ["s0", "s1", "s2"]
+
+    def main():
+        result = yield cl.collectives.gather(
+            "c0", senders, size_of=lambda n: 100, payload_of=lambda n: n.upper()
+        )
+        return result
+
+    result = drive(cl, cl.env.process(main()))
+    assert result == {"s0": "S0", "s1": "S1", "s2": "S2"}
+    assert cl.monitors.counter("net.rx.c0").value == 300
+
+
+def test_reduce_folds_contributions(cl, drive):
+    contributions = {n: (i + 1, 50) for i, n in enumerate(["s0", "s1", "s2"])}
+
+    def main():
+        total = yield cl.collectives.reduce(
+            "c0", contributions, combine=lambda a, b: a + b
+        )
+        return total
+
+    assert drive(cl, cl.env.process(main())) == 6
+
+
+def test_reduce_includes_root_contribution(cl, drive):
+    contributions = {"c0": (10, 0), "s0": (5, 50)}
+
+    def main():
+        return (
+            yield cl.collectives.reduce("c0", contributions, combine=lambda a, b: a + b)
+        )
+
+    assert drive(cl, cl.env.process(main())) == 15
+
+
+def test_allgather_full_exchange_byte_count(cl, drive):
+    nodes = ["s0", "s1", "s2"]
+
+    def main():
+        yield cl.collectives.allgather(nodes, size_of=lambda n: 100)
+        # Drain mailboxes so nothing dangles.
+        for n in nodes:
+            for _ in range(2):
+                yield cl.transport.recv(n)
+
+    drive(cl, cl.env.process(main()))
+    # n*(n-1) messages of 100 B.
+    assert cl.monitors.counter("net.bytes_total").value == 600

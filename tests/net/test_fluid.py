@@ -1,0 +1,135 @@
+"""Unit tests for the max-min fair-share fluid network model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.fluid import FluidScheduler
+from repro.sim import Environment
+
+
+@pytest.fixture
+def sched(env):
+    s = FluidScheduler(env)
+    for name in ("a.tx", "a.rx", "b.tx", "b.rx", "c.tx", "c.rx"):
+        s.add_link(name, 100.0)  # 100 bytes/sec
+    return s
+
+
+def finish_time(env, event):
+    def waiter():
+        yield event
+        return env.now
+
+    return env.run(until=env.process(waiter()))
+
+
+def test_single_flow_runs_at_link_rate(env, sched):
+    done = sched.start(("a.tx", "b.rx"), 200.0)
+    assert finish_time(env, done) == pytest.approx(2.0)
+
+
+def test_zero_size_flow_completes_immediately(env, sched):
+    done = sched.start(("a.tx", "b.rx"), 0.0)
+    assert done.triggered and done.ok
+
+
+def test_two_flows_share_a_common_link(env, sched):
+    # Both flows leave a.tx -> each gets 50 B/s on it.
+    d1 = sched.start(("a.tx", "b.rx"), 100.0)
+    d2 = sched.start(("a.tx", "c.rx"), 100.0)
+    t1 = finish_time(env, d1)
+    assert t1 == pytest.approx(2.0)
+    t2 = finish_time(env, d2)
+    assert t2 == pytest.approx(2.0)
+
+
+def test_disjoint_flows_do_not_interact(env, sched):
+    d1 = sched.start(("a.tx", "b.rx"), 100.0)
+    d2 = sched.start(("c.tx", "a.rx"), 100.0)  # duplex: tx and rx separate
+    assert finish_time(env, d1 & d2) == pytest.approx(1.0)
+
+
+def test_rate_rises_when_contender_finishes(env, sched):
+    # Flow 1: 50 bytes on shared a.tx; flow 2: 150 bytes.
+    d1 = sched.start(("a.tx", "b.rx"), 50.0)
+    d2 = sched.start(("a.tx", "c.rx"), 150.0)
+    assert finish_time(env, d1) == pytest.approx(1.0)  # 50 B at 50 B/s
+    # Flow 2 drained 50 B in the first second, then runs at 100 B/s.
+    assert finish_time(env, d2) == pytest.approx(2.0)
+
+
+def test_late_arrival_slows_existing_flow(env, sched):
+    d1 = sched.start(("a.tx", "b.rx"), 150.0)
+
+    def second():
+        yield env.timeout(1.0)  # d1 has 50 B left at t=1
+        d2 = sched.start(("a.tx", "c.rx"), 100.0)
+        yield d2
+        return env.now
+
+    p = env.process(second())
+    t1 = finish_time(env, d1)
+    # After t=1: both at 50 B/s. d1 needs 1 more second.
+    assert t1 == pytest.approx(2.0)
+    # d2: 50 B at 50 B/s (until t=2) then 50 B at 100 B/s -> t=2.5
+    assert env.run(until=p) == pytest.approx(2.5)
+
+
+def test_bottleneck_is_min_across_path(env):
+    env2 = Environment()
+    s = FluidScheduler(env2)
+    s.add_link("fast.tx", 1000.0)
+    s.add_link("slow.rx", 10.0)
+    done = s.start(("fast.tx", "slow.rx"), 100.0)
+
+    def waiter():
+        yield done
+        return env2.now
+
+    assert env2.run(until=env2.process(waiter())) == pytest.approx(10.0)
+
+
+def test_max_min_three_flows_unequal_paths(env, sched):
+    # f1: a.tx -> b.rx ; f2: a.tx -> c.rx ; f3: c.tx -> b.rx
+    # a.tx shared by f1,f2 (50 each); b.rx shared by f1,f3.
+    # Max-min: f1=50, f2=50, f3=min(100, 100-50)=50.
+    d3 = sched.start(("c.tx", "b.rx"), 75.0)
+    d1 = sched.start(("a.tx", "b.rx"), 50.0)
+    d2 = sched.start(("a.tx", "c.rx"), 50.0)
+    assert finish_time(env, d1) == pytest.approx(1.0)
+    assert finish_time(env, d2) == pytest.approx(1.0)
+    # f3: 50 B drained in first second, then alone on b.rx at 100 B/s.
+    assert finish_time(env, d3) == pytest.approx(1.25)
+
+
+def test_duplicate_link_rejected(env, sched):
+    with pytest.raises(NetworkError):
+        sched.add_link("a.tx", 5.0)
+
+
+def test_unknown_link_rejected(env, sched):
+    with pytest.raises(NetworkError):
+        sched.link("nope")
+
+
+def test_nonpositive_capacity_rejected(env):
+    s = FluidScheduler(env)
+    with pytest.raises(NetworkError):
+        s.add_link("bad", 0)
+
+
+def test_utilization_reporting(env, sched):
+    sched.start(("a.tx", "b.rx"), 1000.0)
+    sched.start(("a.tx", "c.rx"), 1000.0)
+    assert sched.link_utilization("a.tx") == pytest.approx(1.0)
+    assert sched.link_utilization("b.rx") == pytest.approx(0.5)
+    assert sched.active_flows == 2
+
+
+def test_many_sequential_flows_accumulate_time(env, sched):
+    def proc():
+        for _ in range(5):
+            yield sched.start(("a.tx", "b.rx"), 100.0)
+        return env.now
+
+    assert env.run(until=env.process(proc())) == pytest.approx(5.0)

@@ -1,0 +1,148 @@
+"""Tests for the server-side strip cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformSpec
+from repro.errors import PFSError
+from repro.hw import Cluster
+from repro.pfs import ParallelFileSystem
+from repro.pfs.cache import StripCache
+from repro.units import KiB, MiB
+from repro.workloads import fractal_dem
+
+
+class TestStripCacheUnit:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PFSError):
+            StripCache(-1)
+
+    def test_disabled_cache_never_hits(self):
+        cache = StripCache(0)
+        cache.insert(("f", 0), 100)
+        assert not cache.lookup(("f", 0))
+        assert cache.hit_rate == 0.0
+
+    def test_hit_after_insert(self):
+        cache = StripCache(1000)
+        assert not cache.lookup(("f", 0))  # miss
+        cache.insert(("f", 0), 100)
+        assert cache.lookup(("f", 0))  # hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_respects_budget(self):
+        cache = StripCache(250)
+        for i in range(3):
+            cache.insert(("f", i), 100)
+        assert cache.used_bytes <= 250
+        assert ("f", 0) not in cache  # evicted first
+        assert ("f", 2) in cache
+
+    def test_recency_refresh_on_lookup(self):
+        cache = StripCache(250)
+        cache.insert(("f", 0), 100)
+        cache.insert(("f", 1), 100)
+        cache.lookup(("f", 0))  # refresh 0
+        cache.insert(("f", 2), 100)  # must evict 1, not 0
+        assert ("f", 0) in cache
+        assert ("f", 1) not in cache
+
+    def test_oversized_strip_not_cached(self):
+        cache = StripCache(50)
+        cache.insert(("f", 0), 100)
+        assert ("f", 0) not in cache
+        assert cache.used_bytes == 0
+
+    def test_reinsert_updates_size(self):
+        cache = StripCache(300)
+        cache.insert(("f", 0), 100)
+        cache.insert(("f", 0), 200)
+        assert cache.used_bytes == 200
+
+    def test_invalidate_file(self):
+        cache = StripCache(1000)
+        cache.insert(("a", 0), 10)
+        cache.insert(("a", 1), 10)
+        cache.insert(("b", 0), 10)
+        assert cache.invalidate_file("a") == 2
+        assert ("b", 0) in cache
+        assert cache.used_bytes == 10
+
+
+class TestCachedDataServer:
+    def build(self, cache_bytes):
+        spec = PlatformSpec(server_cache_bytes=cache_bytes)
+        cluster = Cluster.build(n_compute=1, n_storage=2, spec=spec)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(64, 64, rng=np.random.default_rng(81))
+        pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+        return cluster, pfs, dem
+
+    def repeated_read_times(self, cache_bytes):
+        cluster, pfs, dem = self.build(cache_bytes)
+        client = pfs.client("c0")
+
+        def main():
+            t0 = cluster.env.now
+            yield client.read("dem", 0, dem.nbytes)
+            t1 = cluster.env.now
+            yield client.read("dem", 0, dem.nbytes)
+            t2 = cluster.env.now
+            return t1 - t0, t2 - t1
+
+        return cluster.run(until=cluster.env.process(main())), cluster
+
+    def test_second_read_faster_with_cache(self):
+        (cold, warm), cluster = self.repeated_read_times(1 * MiB)
+        assert warm < cold
+        # The warm read did no disk I/O at all.
+        assert cluster.monitors.counter_total("pfs.cache_hit_bytes.") > 0
+
+    def test_no_speedup_without_cache(self):
+        (cold, warm), cluster = self.repeated_read_times(0)
+        assert warm == pytest.approx(cold, rel=0.05)
+
+    def test_cached_reads_still_return_correct_bytes(self):
+        cluster, pfs, dem = self.build(1 * MiB)
+        client = pfs.client("c0")
+        raw = dem.view(np.uint8).reshape(-1)
+
+        def main():
+            first = yield client.read("dem", 0, dem.nbytes)
+            second = yield client.read("dem", 100, 5000)
+            return first, second
+
+        first, second = cluster.run(until=cluster.env.process(main()))
+        assert np.array_equal(first, raw)
+        assert np.array_equal(second, raw[100:5100])
+
+    def test_write_through_populates_cache(self):
+        cluster, pfs, dem = self.build(1 * MiB)
+        client = pfs.client("c0")
+
+        def main():
+            yield client.write_elems("dem", 0, np.zeros(512, dtype=np.float64))
+            t0 = cluster.env.now
+            yield client.read("dem", 0, 4096)  # the strip just written
+            return cluster.env.now - t0
+
+        warm = cluster.run(until=cluster.env.process(main()))
+        # No disk read happened for the cached strip.
+        ds = pfs.servers["s0"]
+        assert ds.cache.hits >= 1
+
+    def test_scheme_correct_with_cache_enabled(self, drive):
+        spec = PlatformSpec(server_cache_bytes=4 * MiB)
+        cluster = Cluster.build(n_compute=2, n_storage=2, spec=spec)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(96, 128, rng=np.random.default_rng(82))
+        from repro.harness.platform import ingest_for_scheme
+        from repro.kernels import default_registry
+        from repro.schemes import DynamicActiveStorageScheme
+
+        ingest_for_scheme(pfs, "DAS", "in", dem, "gaussian")
+        res = drive(
+            cluster, DynamicActiveStorageScheme(pfs).run_operation("gaussian", "in", "out")
+        )
+        ref = default_registry.get("gaussian").reference(dem)
+        assert np.array_equal(pfs.client("c0").collect("out"), ref)

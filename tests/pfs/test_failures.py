@@ -1,0 +1,146 @@
+"""Failure-injection tests: degraded reads via DAS replicas.
+
+The DAS layout's boundary replication buys limited fault tolerance for
+free: a read touching a replicated strip survives the primary holder's
+failure by redirecting to the neighbour's copy.  Unreplicated strips
+(round-robin striping) have no fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeDownError
+from repro.hw import Cluster
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=1, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    dem = fractal_dem(64, 64, rng=np.random.default_rng(21))  # 8 strips
+    return cluster, pfs, dem
+
+
+def test_replicated_strip_read_survives_primary_failure(world, drive):
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    # group=2, halo=1: strip 2 (primary s1) is replicated on s0.
+    client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=1))
+    cluster.node("s1").fail()
+
+    raw = dem.view(np.uint8).reshape(-1)
+
+    def main():
+        return (yield client.read("dem", 2 * 4096, 4096))
+
+    got = drive(cluster, cluster.env.process(main()))
+    assert np.array_equal(got, raw[2 * 4096 : 3 * 4096])
+
+
+def test_full_file_read_with_one_dead_server_needs_full_replication(drive):
+    # 16 strips, group=4: interior strips of a group have no replica.
+    cluster = Cluster.build(n_compute=1, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    dem = fractal_dem(128, 64, rng=np.random.default_rng(22))  # 16 strips
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.replicated_grouped(group=4, halo_strips=1))
+    cluster.node("s1").fail()
+
+    # Strips 5 and 6 (interior of group 1, primary s1) have no replica
+    # -> the read of the whole file must fail loudly, not silently
+    # corrupt.
+    def main():
+        yield client.read("dem", 0, dem.nbytes)
+
+    with pytest.raises(NodeDownError):
+        drive(cluster, cluster.env.process(main()))
+
+
+def test_round_robin_has_no_fallback(world, drive):
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.round_robin())
+    cluster.node("s2").fail()
+
+    def main():
+        yield client.read("dem", 2 * 4096, 100)  # strip 2 lives on s2 only
+
+    with pytest.raises(NodeDownError):
+        drive(cluster, cluster.env.process(main()))
+
+
+def test_reads_not_touching_the_dead_server_still_work(world, drive):
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.round_robin())
+    cluster.node("s2").fail()
+    raw = dem.view(np.uint8).reshape(-1)
+
+    def main():
+        return (yield client.read("dem", 0, 4096))  # strip 0 on s0
+
+    got = drive(cluster, cluster.env.process(main()))
+    assert np.array_equal(got, raw[:4096])
+
+
+def test_recovery_restores_primary_path(world, drive):
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.round_robin())
+    cluster.node("s2").fail()
+    cluster.node("s2").recover()
+    raw = dem.view(np.uint8).reshape(-1)
+
+    def main():
+        return (yield client.read("dem", 2 * 4096, 4096))
+
+    got = drive(cluster, cluster.env.process(main()))
+    assert np.array_equal(got, raw[2 * 4096 : 3 * 4096])
+
+
+def test_failover_read_charges_the_replica_server(world, drive):
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=1))
+    cluster.node("s1").fail()
+
+    def main():
+        yield client.read("dem", 2 * 4096, 4096)
+
+    drive(cluster, cluster.env.process(main()))
+    # The bytes flowed from s0 (the replica holder), not s1.
+    assert cluster.monitors.counter("net.flow.s0->c0").value >= 4096
+    assert cluster.monitors.counter("net.flow.s1->c0").value == 0
+
+
+def test_write_to_down_server_fails_loudly(world, drive):
+    """Writes have no failover: a write touching a dead holder must
+    fail rather than leave replicas divergent."""
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=1))
+    cluster.node("s1").fail()
+
+    def main():
+        yield client.write_elems("dem", 0, np.zeros(dem.size, dtype=np.float64))
+
+    with pytest.raises(NodeDownError):
+        drive(cluster, cluster.env.process(main()))
+
+
+def test_offload_with_dead_server_fails_loudly(world, drive):
+    """An exec fan-out that cannot reach a storage node must surface the
+    failure, never return partial coverage as success."""
+    from repro.core import ActiveRequest, ActiveStorageClient
+
+    cluster, pfs, dem = world
+    client = pfs.client("c0")
+    client.ingest("dem", dem, pfs.round_robin())
+    asc = ActiveStorageClient(pfs, home="c0")
+    cluster.node("s3").fail()
+    req = ActiveRequest("gaussian", "dem", "out", replicate_output=False)
+    with pytest.raises(NodeDownError):
+        drive(cluster, asc.execute_offload(req, asc.decide(req)))

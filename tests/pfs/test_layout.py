@@ -1,0 +1,125 @@
+"""Unit tests for striping layouts (paper Eqs. 1–2 and Figs. 4–5)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.pfs import GroupedLayout, RoundRobinLayout
+
+SERVERS = ["s0", "s1", "s2", "s3"]
+
+
+@pytest.fixture
+def rr():
+    return RoundRobinLayout(SERVERS, strip_size=1024)
+
+
+@pytest.fixture
+def grouped():
+    return GroupedLayout(SERVERS, strip_size=1024, group=3)
+
+
+class TestConstruction:
+    def test_needs_servers(self):
+        with pytest.raises(LayoutError):
+            RoundRobinLayout([], 1024)
+
+    def test_rejects_duplicate_servers(self):
+        with pytest.raises(LayoutError):
+            RoundRobinLayout(["a", "a"], 1024)
+
+    def test_rejects_nonpositive_strip(self):
+        with pytest.raises(LayoutError):
+            RoundRobinLayout(SERVERS, 0)
+
+    def test_grouped_rejects_nonpositive_group(self):
+        with pytest.raises(LayoutError):
+            GroupedLayout(SERVERS, 1024, group=0)
+
+
+class TestRoundRobin:
+    def test_strip_of_byte_offsets(self, rr):
+        assert rr.strip_of(0) == 0
+        assert rr.strip_of(1023) == 0
+        assert rr.strip_of(1024) == 1
+        assert rr.strip_of(10 * 1024 + 1) == 10
+
+    def test_negative_offset_rejected(self, rr):
+        with pytest.raises(LayoutError):
+            rr.strip_of(-1)
+
+    def test_placement_cycles_servers(self, rr):
+        assert [rr.primary_server(s) for s in range(6)] == [
+            "s0", "s1", "s2", "s3", "s0", "s1",
+        ]
+
+    def test_replicas_is_primary_only(self, rr):
+        assert rr.replicas(5) == ["s1"]
+
+    def test_n_strips_rounds_up(self, rr):
+        assert rr.n_strips(0) == 0
+        assert rr.n_strips(1) == 1
+        assert rr.n_strips(1024) == 1
+        assert rr.n_strips(1025) == 2
+
+    def test_primary_runs_are_singletons(self, rr):
+        runs = rr.primary_runs("s1", file_size=8 * 1024)
+        assert runs == [(1, 1), (5, 5)]
+
+    def test_strip_extent_bytes_last_strip_short(self, rr):
+        assert rr.strip_extent_bytes(0, 1500) == 1024
+        assert rr.strip_extent_bytes(1, 1500) == 476
+        assert rr.strip_extent_bytes(2, 1500) == 0
+
+    def test_storage_bytes_equals_file_size(self, rr):
+        assert rr.storage_bytes(10_000) == 10_000
+
+
+class TestMapExtent:
+    def test_single_strip_extent(self, rr):
+        [e] = rr.map_extent(100, 200)
+        assert (e.strip, e.server, e.offset, e.length, e.in_strip) == (
+            0, "s0", 100, 200, 100,
+        )
+
+    def test_extent_split_at_strip_boundary(self, rr):
+        extents = rr.map_extent(1000, 100)
+        assert [(e.strip, e.length, e.in_strip) for e in extents] == [
+            (0, 24, 1000),
+            (1, 76, 0),
+        ]
+
+    def test_extents_cover_range_exactly(self, rr):
+        extents = rr.map_extent(500, 5000)
+        assert extents[0].offset == 500
+        assert extents[-1].end == 5500
+        for a, b in zip(extents, extents[1:]):
+            assert a.end == b.offset
+
+    def test_zero_length_extent_is_empty(self, rr):
+        assert rr.map_extent(100, 0) == []
+
+    def test_invalid_extent_rejected(self, rr):
+        with pytest.raises(LayoutError):
+            rr.map_extent(-1, 10)
+        with pytest.raises(LayoutError):
+            rr.map_extent(0, -10)
+
+
+class TestGrouped:
+    def test_group_placement(self, grouped):
+        # r=3: strips 0-2 -> s0, 3-5 -> s1, ...
+        assert [grouped.primary_server(s) for s in range(8)] == [
+            "s0", "s0", "s0", "s1", "s1", "s1", "s2", "s2",
+        ]
+
+    def test_wraps_after_all_servers(self, grouped):
+        assert grouped.primary_server(12) == "s0"  # group 4 -> s0 again
+
+    def test_primary_runs_are_group_sized(self, grouped):
+        runs = grouped.primary_runs("s1", file_size=24 * 1024)
+        assert runs == [(3, 5), (15, 17)]
+
+    def test_placement_table_covers_every_strip(self, grouped):
+        table = grouped.placement_table(10 * 1024)
+        placed = sorted(s for strips in table.values() for s in strips)
+        assert placed == list(range(10))

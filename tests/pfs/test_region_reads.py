@@ -1,0 +1,136 @@
+"""Tests for scattered and rectangular-region reads (GIS access pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PFSError
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def world(small_cluster):
+    pfs = ParallelFileSystem(small_cluster, strip_size=4 * KiB)
+    dem = fractal_dem(96, 128, rng=np.random.default_rng(33))
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    return small_cluster, pfs, dem
+
+
+class TestScatteredReads:
+    def test_multiple_ranges_concatenated(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+        raw = dem.view(np.uint8).reshape(-1)
+        ranges = [(0, 100), (5000, 200), (90000, 50)]
+
+        def main():
+            return (yield client.read_scattered("dem", ranges))
+
+        got = drive(cl, cl.env.process(main()))
+        expected = np.concatenate([raw[o : o + n] for o, n in ranges])
+        assert np.array_equal(got, expected)
+
+    def test_empty_ranges_ok(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            return (yield client.read_scattered("dem", []))
+
+        assert drive(cl, cl.env.process(main())).size == 0
+
+    def test_out_of_bounds_range_rejected(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            yield client.read_scattered("dem", [(dem.nbytes - 4, 8)])
+
+        with pytest.raises(PFSError):
+            drive(cl, cl.env.process(main()))
+
+    def test_batches_one_request_per_server(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+        # Many small ranges spread over all strips.
+        ranges = [(i * 4096, 16) for i in range(8)]
+
+        def main():
+            return (yield client.read_scattered("dem", ranges))
+
+        drive(cl, cl.env.process(main()))
+        # 4 servers, 2 strips each -> exactly 4 PFS requests.
+        rpc_msgs = cl.monitors.counter("net.tag.pfs").events
+        assert rpc_msgs == 4
+
+
+class TestRegionReads:
+    def test_region_matches_numpy_slice(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            return (yield client.read_region("dem", 10, 20, 30, 40))
+
+        got = drive(cl, cl.env.process(main()))
+        assert np.array_equal(got, dem[10:40, 20:60])
+
+    def test_full_raster_region(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            return (yield client.read_region("dem", 0, 0, 96, 128))
+
+        got = drive(cl, cl.env.process(main()))
+        assert np.array_equal(got, dem)
+
+    def test_single_cell_region(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            return (yield client.read_region("dem", 42, 17, 1, 1))
+
+        got = drive(cl, cl.env.process(main()))
+        assert got.shape == (1, 1)
+        assert got[0, 0] == dem[42, 17]
+
+    @pytest.mark.parametrize(
+        "r0,c0,h,w",
+        [(-1, 0, 5, 5), (0, -1, 5, 5), (95, 0, 2, 5), (0, 125, 5, 5), (0, 0, 0, 5)],
+    )
+    def test_invalid_regions_rejected(self, world, drive, r0, c0, h, w):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+
+        def main():
+            yield client.read_region("dem", r0, c0, h, w)
+
+        with pytest.raises(PFSError):
+            drive(cl, cl.env.process(main()))
+
+    def test_region_on_unshaped_file_rejected(self, world, drive):
+        cl, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("flat", np.zeros(4096, dtype=np.float64), pfs.round_robin())
+
+        def main():
+            yield client.read_region("flat", 0, 0, 2, 2)
+
+        with pytest.raises(PFSError):
+            drive(cl, cl.env.process(main()))
+
+    def test_degraded_region_read_uses_replicas(self, small_cluster, drive):
+        pfs = ParallelFileSystem(small_cluster, strip_size=4 * KiB)
+        dem = fractal_dem(128, 64, rng=np.random.default_rng(34))  # 16 strips
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=1))
+        small_cluster.node("s1").fail()  # r=2, h=1 -> everything replicated
+
+        def main():
+            return (yield client.read_region("dem", 0, 0, 128, 64))
+
+        got = drive(small_cluster, small_cluster.env.process(main()))
+        assert np.array_equal(got, dem)

@@ -1,0 +1,100 @@
+"""Unit tests for the DAS replicated-grouped layout (paper Fig. 9)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.pfs import ReplicatedGroupedLayout
+
+SERVERS = ["s0", "s1", "s2", "s3"]
+
+
+@pytest.fixture
+def layout():
+    # r=4, one replicated boundary strip each side.
+    return ReplicatedGroupedLayout(SERVERS, strip_size=1024, group=4, halo_strips=1)
+
+
+def test_halo_larger_than_group_rejected():
+    with pytest.raises(LayoutError):
+        ReplicatedGroupedLayout(SERVERS, 1024, group=2, halo_strips=3)
+
+
+def test_negative_halo_rejected():
+    with pytest.raises(LayoutError):
+        ReplicatedGroupedLayout(SERVERS, 1024, group=2, halo_strips=-1)
+
+
+def test_interior_strip_has_no_replicas(layout):
+    # Strips 1 and 2 of group 0 are interior.
+    assert layout.replicas(1) == ["s0"]
+    assert layout.replicas(2) == ["s0"]
+
+
+def test_group_head_replicated_on_previous_server(layout):
+    # Strip 4 heads group 1 (s1); previous group's server is s0.
+    assert layout.replicas(4) == ["s1", "s0"]
+
+
+def test_group_tail_replicated_on_next_server(layout):
+    # Strip 3 tails group 0 (s0); next group's server is s1.
+    assert layout.replicas(3) == ["s0", "s1"]
+
+
+def test_first_group_head_not_replicated(layout):
+    # Strip 0 heads group 0 — there is no previous group.
+    assert layout.replicas(0) == ["s0"]
+
+
+def test_holds_covers_replicas(layout):
+    assert layout.holds("s0", 4)      # replica of group 1's head
+    assert layout.holds("s1", 4)      # primary
+    assert not layout.holds("s2", 4)
+
+
+def test_paper_fig9_no_remote_dependence():
+    """Fig. 9: with boundary replication every server can reach one
+    strip each side of all its primary strips locally."""
+    layout = ReplicatedGroupedLayout(SERVERS, 1024, group=4, halo_strips=1)
+    file_size = 32 * 1024  # 32 strips = 8 groups
+    for server in SERVERS:
+        for first, last in layout.primary_runs(server, file_size):
+            if first > 0:
+                assert layout.holds(server, first - 1)
+            if (last + 1) * 1024 < file_size:
+                assert layout.holds(server, last + 1)
+
+
+def test_capacity_overhead_formula(layout):
+    assert layout.capacity_overhead() == pytest.approx(2 * 1 / 4)
+
+
+def test_storage_bytes_reflects_replicas(layout):
+    file_size = 16 * 1024  # 4 full groups
+    extra = layout.storage_bytes(file_size) - file_size
+    # Groups 0..3: head replicas for groups 1,2,3 + tail replicas for
+    # all 4 groups = 7 extra strips.
+    assert extra == 7 * 1024
+
+
+def test_wider_halo_replicates_more(layout):
+    wide = ReplicatedGroupedLayout(SERVERS, 1024, group=6, halo_strips=2)
+    # Strip 1 is within 2 strips of group 0's head but group 0 has no
+    # previous group; strip 7 is the second strip of group 1.
+    assert wide.replicas(7) == ["s1", "s0"]
+    assert wide.replicas(10) == ["s1", "s2"]  # second-to-last of group 1
+
+
+def test_map_extent_prefers_local_replica(layout):
+    # Strip 4's replica lives on s0; a reader on s0 should use it.
+    extents = layout.map_extent(4 * 1024, 100, prefer="s0")
+    assert extents[0].server == "s0"
+    # Without preference, the primary s1 serves it.
+    extents = layout.map_extent(4 * 1024, 100)
+    assert extents[0].server == "s1"
+
+
+def test_zero_halo_behaves_like_grouped():
+    layout = ReplicatedGroupedLayout(SERVERS, 1024, group=4, halo_strips=0)
+    for strip in range(16):
+        assert len(layout.replicas(strip)) == 1
+    assert layout.capacity_overhead() == 0.0

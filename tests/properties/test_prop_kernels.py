@@ -1,0 +1,146 @@
+"""Property-based tests for kernels: decomposition equivalence.
+
+The property that makes every scheme agree: splitting a raster into
+*any* partition of contiguous element ranges and processing each range
+with its halo window reproduces the whole-raster reference exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import DependencePattern, default_registry
+from repro.kernels.pattern import OffsetTerm
+
+KERNELS = ("flow-routing", "flow-accumulation", "gaussian", "median", "slope")
+
+
+@st.composite
+def raster_and_cuts(draw):
+    rows = draw(st.integers(3, 24))
+    cols = draw(st.integers(3, 24))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    raster = rng.random((rows, cols))
+    n = rows * cols
+    n_cuts = draw(st.integers(0, 6))
+    cuts = sorted(draw(st.lists(st.integers(1, n - 1), min_size=n_cuts, max_size=n_cuts)))
+    bounds = [0] + cuts + [n]
+    ranges = [
+        (a, b - a) for a, b in zip(bounds, bounds[1:]) if b > a
+    ]
+    return raster, ranges
+
+
+@given(data=raster_and_cuts(), kernel_name=st.sampled_from(KERNELS))
+@settings(max_examples=120, deadline=None)
+def test_any_partition_reproduces_reference(data, kernel_name):
+    raster, ranges = data
+    kernel = default_registry.get(kernel_name)
+    if kernel_name == "flow-accumulation":
+        raster = default_registry.get("flow-routing").reference(raster)
+    ref = kernel.reference(raster).reshape(-1)
+    out = np.empty_like(ref)
+    for first, count in ranges:
+        out[first : first + count] = kernel.apply_range(raster, first, count)
+    assert np.array_equal(out, ref)
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(3, 20),
+    cols=st.integers(3, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_flow_routing_invariants(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    dem = rng.random((rows, cols))
+    dirs = default_registry.get("flow-routing").reference(dem)
+    # Codes in 0..8; flow always goes strictly downhill.
+    assert dirs.min() >= 0 and dirs.max() <= 8
+    from repro.kernels.stencil import D8_OFFSETS
+
+    rr, cc = np.nonzero(dirs > 0)
+    for r, c in zip(rr[:50], cc[:50]):
+        dr, dc = D8_OFFSETS[int(dirs[r, c]) - 1]
+        assert 0 <= r + dr < rows and 0 <= c + dc < cols
+        assert dem[r + dr, c + dc] < dem[r, c]
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(3, 16),
+    cols=st.integers(3, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_median_and_gaussian_bounded_by_input_range(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    img = rng.random((rows, cols))
+    for name in ("median", "gaussian"):
+        out = default_registry.get(name).reference(img)
+        assert out.min() >= img.min() - 1e-12
+        assert out.max() <= img.max() + 1e-12
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(3, 16),
+    cols=st.integers(3, 16),
+    shift=st.floats(-100, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_slope_invariant_under_constant_shift(seed, rows, cols, shift):
+    rng = np.random.default_rng(seed)
+    dem = rng.random((rows, cols))
+    slope = default_registry.get("slope")
+    assert np.allclose(slope.reference(dem), slope.reference(dem + shift), atol=1e-9)
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    rows=st.integers(3, 16),
+    cols=st.integers(3, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_gaussian_preserves_constant_rasters(seed, rows, cols):
+    value = float(np.random.default_rng(seed).uniform(-10, 10))
+    flat = np.full((rows, cols), value)
+    out = default_registry.get("gaussian").reference(flat)
+    assert np.allclose(out, value, atol=1e-12)
+
+
+offset_terms = st.builds(
+    OffsetTerm,
+    width_coef=st.integers(-3, 3),
+    const=st.integers(-50, 50),
+)
+
+
+@given(
+    name=st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters=":#"),
+        min_size=1,
+        max_size=20,
+    ),
+    terms=st.lists(offset_terms, min_size=0, max_size=10),
+)
+@settings(max_examples=150)
+def test_pattern_text_roundtrip(name, terms):
+    pattern = DependencePattern(name.strip() or "op", terms)
+    if not pattern.name:
+        return
+    [parsed] = DependencePattern.parse(pattern.to_text())
+    assert parsed == pattern
+
+
+@given(terms=st.lists(offset_terms, min_size=1, max_size=10), width=st.integers(1, 200))
+@settings(max_examples=100)
+def test_reach_bounds_offsets(terms, width):
+    pattern = DependencePattern("op", terms)
+    offsets = pattern.offsets(width)
+    assert pattern.reach(width) == int(np.abs(offsets).max()) if offsets.size else 0
+    for off in offsets:
+        if off < 0:
+            assert -off <= pattern.reach_before(width)
+        elif off > 0:
+            assert off <= pattern.reach_after(width)

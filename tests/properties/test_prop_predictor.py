@@ -1,0 +1,159 @@
+"""Property-based tests for the bandwidth model.
+
+* The vectorised Eq. (5) accounting equals a brute-force oracle for
+  arbitrary layouts, file sizes and offset sets.
+* The paper's Eq. (17) divisibility criterion is *sound*: whenever it
+  holds, the exact per-element count of cross-server dependencies for
+  that stride is zero.
+* Model ordering: strip-granular transfers never move fewer bytes than
+  exact transfers; a replicated layout never moves more than its
+  unreplicated counterpart.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cross_server_elements,
+    dependence_is_local,
+    offload_interserver_bytes,
+)
+from repro.kernels import DependencePattern
+from repro.pfs import GroupedLayout, ReplicatedGroupedLayout, RoundRobinLayout
+from repro.pfs.datafile import FileMeta
+
+E = 8
+
+
+def brute_force(layout, n_elements, offsets):
+    total = 0
+    for i in range(n_elements):
+        src = layout.server_index((i * E) // layout.strip_size)
+        for d in offsets:
+            j = i + d
+            if 0 <= j < n_elements and layout.server_index(
+                (j * E) // layout.strip_size
+            ) != src:
+                total += 1
+    return total
+
+
+@st.composite
+def small_layouts(draw):
+    n_servers = draw(st.integers(1, 5))
+    servers = [f"s{i}" for i in range(n_servers)]
+    spe = draw(st.sampled_from([2, 4, 8]))  # elements per strip
+    strip = spe * E
+    if draw(st.booleans()):
+        return RoundRobinLayout(servers, strip)
+    return GroupedLayout(servers, strip, draw(st.integers(1, 4)))
+
+
+@given(
+    layout=small_layouts(),
+    n_elements=st.integers(1, 300),
+    offsets=st.lists(st.integers(-40, 40), min_size=1, max_size=5),
+)
+@settings(max_examples=150, deadline=None)
+def test_cross_server_elements_matches_brute_force(layout, n_elements, offsets):
+    got = cross_server_elements(layout, n_elements, E, np.array(offsets))
+    assert got == brute_force(layout, n_elements, offsets)
+
+
+@given(
+    n_servers=st.integers(1, 6),
+    spe=st.sampled_from([2, 4, 8]),
+    group=st.integers(1, 4),
+    rounds=st.integers(1, 5),
+    n_elements=st.integers(10, 400),
+)
+@settings(max_examples=100, deadline=None)
+def test_eq17_criterion_soundness(n_servers, spe, group, rounds, n_elements):
+    """A stride of whole server rounds is free under the grouped layout."""
+    servers = [f"s{i}" for i in range(n_servers)]
+    strip = spe * E
+    stride = rounds * group * spe * n_servers
+    assert dependence_is_local(stride, E, strip, n_servers, group)
+    layout = GroupedLayout(servers, strip, group)
+    assert (
+        cross_server_elements(layout, n_elements, E, np.array([-stride, stride])) == 0
+    )
+
+
+@given(
+    n_servers=st.integers(2, 6),
+    spe=st.sampled_from([4, 8]),
+    stride_strips=st.integers(1, 10),
+    n_strips=st.integers(4, 60),
+)
+@settings(max_examples=100, deadline=None)
+def test_eq17_criterion_completeness_for_strip_aligned_strides(
+    n_servers, spe, stride_strips, n_strips
+):
+    """For strip-aligned strides the criterion is exact: it holds iff
+    no dependency crosses servers (when the file is long enough for the
+    stride to matter)."""
+    servers = [f"s{i}" for i in range(n_servers)]
+    strip = spe * E
+    stride = stride_strips * spe
+    layout = RoundRobinLayout(servers, strip)
+    n_elements = n_strips * spe
+    crossings = cross_server_elements(layout, n_elements, E, np.array([stride]))
+    local = dependence_is_local(stride, E, strip, n_servers)
+    if stride < n_elements:
+        assert local == (crossings == 0)
+
+
+@given(
+    n_servers=st.integers(1, 5),
+    spe=st.sampled_from([4, 8]),
+    group=st.integers(1, 4),
+    halo=st.integers(0, 4),
+    n_strips=st.integers(2, 40),
+    width=st.sampled_from([2, 4]),
+)
+@settings(max_examples=100, deadline=None)
+def test_strip_model_dominates_exact_model(n_servers, spe, group, halo, n_strips, width):
+    servers = [f"s{i}" for i in range(n_servers)]
+    strip = spe * E
+    halo = min(halo, group)
+    layout = ReplicatedGroupedLayout(servers, strip, group, halo_strips=halo)
+    size = n_strips * strip
+    n_elements = size // E
+    if n_elements % width:
+        return
+    meta = FileMeta("f", size=size, layout=layout, shape=(n_elements // width, width))
+    pattern = DependencePattern.eight_neighbor("op")
+    strip_cost = offload_interserver_bytes(layout, meta, pattern, "strip")
+    exact_cost = offload_interserver_bytes(layout, meta, pattern, "exact")
+    assert strip_cost >= exact_cost >= 0
+
+
+@given(
+    n_servers=st.integers(1, 5),
+    spe=st.sampled_from([4, 8]),
+    group=st.integers(1, 4),
+    n_strips=st.integers(2, 40),
+    width=st.sampled_from([2, 4]),
+)
+@settings(max_examples=100, deadline=None)
+def test_replication_never_increases_halo_traffic(n_servers, spe, group, n_strips, width):
+    servers = [f"s{i}" for i in range(n_servers)]
+    strip = spe * E
+    size = n_strips * strip
+    n_elements = size // E
+    if n_elements % width:
+        return
+    plain = GroupedLayout(servers, strip, group)
+    replicated = ReplicatedGroupedLayout(servers, strip, group, halo_strips=min(1, group))
+    pattern = DependencePattern.eight_neighbor("op")
+    meta_plain = FileMeta(
+        "f", size=size, layout=plain, shape=(n_elements // width, width)
+    )
+    meta_repl = FileMeta(
+        "f", size=size, layout=replicated, shape=(n_elements // width, width)
+    )
+    assert offload_interserver_bytes(
+        replicated, meta_repl, pattern, "strip"
+    ) <= offload_interserver_bytes(plain, meta_plain, pattern, "strip")

@@ -1,0 +1,80 @@
+"""End-to-end property tests: random worlds through the full stack.
+
+For arbitrary raster geometry, strip size, server count and kernel, an
+offloaded execution on the DAS layout must equal the sequential
+reference — the integration-level restatement of the decomposition
+equivalence property, exercising layouts, local I/O, halo logic, the
+transport and the AS helpers together.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActiveRequest, ActiveStorageClient
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.workloads import fractal_dem
+
+KERNELS = ("flow-routing", "gaussian", "median", "laplace")
+
+
+@st.composite
+def offload_worlds(draw):
+    n_servers = draw(st.integers(1, 5))
+    spe = draw(st.sampled_from([32, 64, 128]))  # elements per strip
+    rows = draw(st.integers(4, 40))
+    cols = draw(st.integers(4, 40))
+    seed = draw(st.integers(0, 2**16))
+    kernel = draw(st.sampled_from(KERNELS))
+    use_das_layout = draw(st.booleans())
+    group = draw(st.integers(1, 4))
+    return n_servers, spe * 8, rows, cols, seed, kernel, use_das_layout, group
+
+
+@given(params=offload_worlds())
+@settings(max_examples=25, deadline=None)
+def test_offloaded_execution_matches_reference(params):
+    n_servers, strip, rows, cols, seed, kernel, use_das_layout, group = params
+    cluster = Cluster.build(n_compute=1, n_storage=n_servers)
+    pfs = ParallelFileSystem(cluster, strip_size=strip)
+    dem = fractal_dem(rows, cols, rng=np.random.default_rng(seed))
+
+    if use_das_layout:
+        layout = pfs.replicated_grouped(group, halo_strips=min(1, group))
+    else:
+        layout = pfs.round_robin()
+    pfs.client("c0").ingest("dem", dem, layout)
+
+    asc = ActiveStorageClient(pfs, home="c0")
+    request = ActiveRequest(kernel, "dem", "out", replicate_output=use_das_layout)
+    result = cluster.run(until=asc.execute_offload(request, asc.decide(request)))
+
+    assert result.total_elements == dem.size
+    ref = default_registry.get(kernel).reference(dem)
+    got = pfs.client("c0").collect("out")
+    assert np.array_equal(got, ref)
+    if use_das_layout:
+        assert pfs.client("c0").verify_replicas("out")
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    n_servers=st.integers(1, 4),
+    rows=st.integers(8, 32),
+    cols=st.integers(8, 32),
+)
+@settings(max_examples=15, deadline=None)
+def test_reduction_offload_matches_reference(seed, n_servers, rows, cols):
+    from repro.kernels import StatsReduction
+
+    cluster = Cluster.build(n_compute=1, n_storage=n_servers)
+    pfs = ParallelFileSystem(cluster, strip_size=512)
+    dem = fractal_dem(rows, cols, rng=np.random.default_rng(seed))
+    pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+    asc = ActiveStorageClient(pfs, home="c0")
+    res = cluster.run(until=asc.submit_reduction("stats", "dem"))
+    ref = StatsReduction().reference(dem)
+    for key in ref:
+        assert abs(res["value"][key] - ref[key]) <= 1e-9 * max(1.0, abs(ref[key]))

@@ -1,0 +1,132 @@
+"""Property-based tests for the simulation engine and fluid network.
+
+* The clock never goes backwards, whatever the timeout mix.
+* Resources never exceed capacity and never starve a waiter forever.
+* The fluid scheduler conserves bytes: every flow completes, and no
+  link ever carries more than its capacity; completion times are lower-
+  bounded by ``size / capacity`` and upper-bounded by serial execution.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fluid import FluidScheduler
+from repro.sim import Environment, Resource
+
+
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_clock_monotone_over_arbitrary_timeouts(delays):
+    env = Environment()
+    observed = []
+
+    def watcher(d):
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(watcher(d))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == max(delays)
+
+
+@given(
+    capacity=st.integers(1, 5),
+    holds=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    completed = [0]
+
+    def user(hold):
+        with res.request() as req:
+            yield req
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield env.timeout(hold)
+            active[0] -= 1
+        completed[0] += 1
+
+    for hold in holds:
+        env.process(user(hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert completed[0] == len(holds)  # nobody starves
+
+
+@given(
+    n_nodes=st.integers(2, 5),
+    flows=st.lists(
+        st.tuples(
+            st.integers(0, 4),  # src index (mod n_nodes)
+            st.integers(0, 4),  # dst index
+            st.floats(1.0, 1000.0),  # size
+            st.floats(0.0, 5.0),  # start delay
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_fluid_flows_all_complete_within_bounds(n_nodes, flows):
+    env = Environment()
+    sched = FluidScheduler(env)
+    capacity = 100.0
+    for i in range(n_nodes):
+        sched.add_link(f"n{i}.tx", capacity)
+        sched.add_link(f"n{i}.rx", capacity)
+
+    finished = []
+
+    def launch(src, dst, size, delay):
+        yield env.timeout(delay)
+        start = env.now
+        yield sched.start((f"n{src}.tx", f"n{dst}.rx"), size)
+        finished.append((start, env.now, size))
+
+    usable = []
+    for src, dst, size, delay in flows:
+        src %= n_nodes
+        dst %= n_nodes
+        if src == dst:
+            continue
+        usable.append((src, dst, size, delay))
+        env.process(launch(src, dst, size, delay))
+    env.run()
+
+    assert len(finished) == len(usable)
+    assert sched.active_flows == 0
+    total_bytes = sum(size for _, _, size, _ in usable)
+    for start, end, size in finished:
+        # Lower bound: the flow can never beat its bottleneck link.
+        assert end - start >= size / capacity - 1e-6
+        # Upper bound: total serialisation of everything.
+        assert end - start <= total_bytes / capacity * n_nodes + 10.0
+
+
+@given(
+    sizes=st.lists(st.floats(1.0, 500.0), min_size=2, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_fluid_shared_link_is_work_conserving(sizes):
+    """All flows share one tx link: the link must finish exactly at
+    sum(sizes)/capacity — fair sharing never wastes capacity."""
+    env = Environment()
+    sched = FluidScheduler(env)
+    capacity = 50.0
+    sched.add_link("src.tx", capacity)
+    for i in range(len(sizes)):
+        sched.add_link(f"d{i}.rx", capacity)
+
+    def launch(i, size):
+        yield sched.start(("src.tx", f"d{i}.rx"), size)
+
+    procs = [env.process(launch(i, s)) for i, s in enumerate(sizes)]
+    env.run()
+    assert env.now * capacity >= sum(sizes) - 1e-6
+    assert env.now * capacity <= sum(sizes) * (1 + 1e-4) + 1e-3

@@ -1,0 +1,97 @@
+"""Property tests: the transport conserves messages and bytes under
+arbitrary traffic patterns."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PlatformSpec
+from repro.hw import Cluster
+from repro.units import MiB
+
+
+@st.composite
+def traffic(draw):
+    n_nodes = draw(st.integers(2, 5))
+    msgs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 4),  # src
+                st.integers(0, 4),  # dst
+                st.integers(1, 1_000_000),  # size
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return n_nodes, msgs
+
+
+@given(params=traffic())
+@settings(max_examples=50, deadline=None)
+def test_every_message_delivered_exactly_once(params):
+    n_nodes, msgs = params
+    cluster = Cluster.build(n_compute=n_nodes, n_storage=1)
+    names = cluster.compute_names
+
+    sent = []
+    for i, (s, d, size) in enumerate(msgs):
+        src, dst = names[s % n_nodes], names[d % n_nodes]
+        sent.append((src, dst, size, i))
+        cluster.transport.send(src, dst, size, payload=i, tag="t")
+
+    expected_per_node = {}
+    for src, dst, size, i in sent:
+        expected_per_node.setdefault(dst, []).append(i)
+
+    received = {}
+
+    def drain(node, count):
+        got = []
+        for _ in range(count):
+            msg = yield cluster.transport.recv(node, tag="t")
+            got.append(msg.payload)
+        received[node] = got
+
+    jobs = [
+        cluster.env.process(drain(node, len(ids)))
+        for node, ids in expected_per_node.items()
+    ]
+
+    def main():
+        for job in jobs:
+            yield job
+
+    cluster.run(until=cluster.env.process(main()))
+
+    for node, ids in expected_per_node.items():
+        assert sorted(received[node]) == sorted(ids)
+
+    # Byte accounting: every wire byte counted exactly once.
+    wire = sum(size for src, dst, size, _ in sent if src != dst)
+    loop = sum(size for src, dst, size, _ in sent if src == dst)
+    assert cluster.monitors.counter("net.bytes_total").value == wire
+    assert cluster.monitors.counter("net.loopback_bytes").value == loop
+
+
+@given(
+    sizes=st.lists(st.integers(1, 64) , min_size=1, max_size=10),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_transfer_times_bounded_by_serialisation(sizes, seed):
+    """Any burst of same-direction transfers finishes no earlier than
+    the bottleneck allows and no later than full serialisation."""
+    spec = PlatformSpec(nic_bandwidth=10 * MiB, nic_latency=0.0, rpc_overhead=0.0)
+    cluster = Cluster.build(n_compute=1, n_storage=1, spec=spec)
+    byte_sizes = [s * 1024 for s in sizes]
+
+    def main():
+        jobs = [cluster.transport.send("c0", "s0", b) for b in byte_sizes]
+        yield cluster.env.all_of(jobs)
+        return cluster.env.now
+
+    t = cluster.run(until=cluster.env.process(main()))
+    total = sum(byte_sizes)
+    assert t >= total / (10 * MiB) - 1e-9
+    assert t <= total / (10 * MiB) * (1 + 1e-6) + 1e-6

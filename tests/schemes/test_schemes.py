@@ -1,0 +1,164 @@
+"""Integration tests: the three evaluation schemes end to end.
+
+The load-bearing invariant: for every kernel and every scheme, the
+produced output is *bit-identical* to the sequential reference — the
+schemes differ only in time and traffic, never in results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster
+from repro.kernels import default_registry
+from repro.pfs import ParallelFileSystem
+from repro.schemes import (
+    SCHEMES,
+    DynamicActiveStorageScheme,
+    NormalActiveStorageScheme,
+    TraditionalScheme,
+)
+from repro.units import KiB
+from repro.workloads import fractal_dem
+from repro.harness.platform import ingest_for_scheme
+
+
+def build_world(rows=96, cols=128, n=4, strip=4 * KiB, scheme="TS", kernel="gaussian"):
+    cluster = Cluster.build(n_compute=n, n_storage=n)
+    pfs = ParallelFileSystem(cluster, strip_size=strip)
+    dem = fractal_dem(rows, cols, rng=np.random.default_rng(8))
+    ingest_for_scheme(pfs, scheme, "in", dem, kernel)
+    return cluster, pfs, dem
+
+
+@pytest.mark.parametrize("label", ["TS", "NAS", "DAS"])
+@pytest.mark.parametrize(
+    "kernel", ["flow-routing", "gaussian", "median", "slope", "laplace", "relief"]
+)
+def test_every_scheme_matches_reference(label, kernel, drive):
+    cluster, pfs, dem = build_world(scheme=label, kernel=kernel)
+    scheme = SCHEMES[label](pfs)
+    res = drive(cluster, scheme.run_operation(kernel, "in", "out"))
+    ref = default_registry.get(kernel).reference(dem)
+    if res.offloaded:
+        got = pfs.client("c0").collect("out")
+    else:
+        src = scheme if label == "TS" else scheme._fallback
+        got = src.client_output(dem.shape)
+    assert np.array_equal(got, ref)
+    assert res.elapsed > 0
+    assert res.data_bytes == dem.nbytes
+
+
+class TestTraditional:
+    def test_no_server_to_server_traffic(self, drive):
+        cluster, pfs, dem = build_world()
+        res = drive(cluster, TraditionalScheme(pfs).run_operation("gaussian", "in", "out"))
+        assert res.traffic.server_bytes == 0
+        assert res.traffic.client_bytes >= dem.nbytes
+
+    def test_write_back_persists_output(self, drive):
+        cluster, pfs, dem = build_world()
+        scheme = TraditionalScheme(pfs, write_back=True)
+        drive(cluster, scheme.run_operation("gaussian", "in", "out"))
+        ref = default_registry.get("gaussian").reference(dem)
+        assert np.array_equal(pfs.client("c0").collect("out"), ref)
+
+    def test_write_back_doubles_client_traffic(self, drive):
+        cluster, pfs, dem = build_world()
+        ro = drive(cluster, TraditionalScheme(pfs).run_operation("gaussian", "in", "o1"))
+        cluster2, pfs2, _ = build_world()
+        wb = drive(
+            cluster2,
+            TraditionalScheme(pfs2, write_back=True).run_operation("gaussian", "in", "o2"),
+        )
+        assert wb.traffic.client_bytes > 1.8 * ro.traffic.client_bytes
+
+    def test_partition_is_balanced_and_complete(self):
+        shares = TraditionalScheme._partition(103, 4)
+        assert sum(c for _, c in shares) == 103
+        assert max(c for _, c in shares) - min(c for _, c in shares) <= 1
+        firsts = [f for f, _ in shares]
+        assert firsts == sorted(firsts)
+
+    def test_requires_compute_nodes(self, drive):
+        from repro.errors import ActiveStorageError
+
+        cluster = Cluster.build(n_compute=0, n_storage=2)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        pfs.client("s0").ingest(
+            "in", fractal_dem(32, 32, rng=np.random.default_rng(0)), pfs.round_robin()
+        )
+        with pytest.raises(ActiveStorageError):
+            drive(cluster, TraditionalScheme(pfs).run_operation("gaussian", "in", "out"))
+
+
+class TestNAS:
+    def test_offloads_unconditionally(self, drive):
+        cluster, pfs, dem = build_world(scheme="NAS")
+        res = drive(
+            cluster, NormalActiveStorageScheme(pfs).run_operation("gaussian", "in", "out")
+        )
+        assert res.offloaded
+        assert res.decision.reason.startswith("NAS offloads unconditionally")
+
+    def test_pays_dependent_data_traffic(self, drive):
+        cluster, pfs, dem = build_world(scheme="NAS")
+        res = drive(
+            cluster, NormalActiveStorageScheme(pfs).run_operation("gaussian", "in", "out")
+        )
+        assert res.extra["remote_halo_bytes"] > 0
+        assert res.traffic.server_bytes > dem.nbytes  # strips move repeatedly
+
+    def test_negligible_client_traffic(self, drive):
+        cluster, pfs, dem = build_world(scheme="NAS")
+        res = drive(
+            cluster, NormalActiveStorageScheme(pfs).run_operation("gaussian", "in", "out")
+        )
+        assert res.traffic.client_bytes < 0.05 * dem.nbytes  # control only
+
+
+class TestDAS:
+    def test_pre_distributed_input_runs_without_halo(self, drive):
+        cluster, pfs, dem = build_world(scheme="DAS", kernel="gaussian")
+        res = drive(
+            cluster,
+            DynamicActiveStorageScheme(pfs).run_operation(
+                "gaussian", "in", "out", pipeline_length=2
+            ),
+        )
+        assert res.offloaded
+        assert res.extra["remote_halo_bytes"] == 0
+
+    def test_cold_one_shot_falls_back_to_normal_io(self, drive):
+        cluster, pfs, dem = build_world(scheme="TS", kernel="gaussian")  # round robin
+        scheme = DynamicActiveStorageScheme(pfs)
+        res = drive(cluster, scheme.run_operation("gaussian", "in", "out"))
+        assert not res.offloaded
+        assert res.scheme == "DAS"
+        assert res.extra["fallback"] == "normal-io"
+        assert res.decision.outcome == "serve-normal"
+        ref = default_registry.get("gaussian").reference(dem)
+        assert np.array_equal(scheme._fallback.client_output(dem.shape), ref)
+
+    def test_cold_pipeline_redistributes(self, drive):
+        cluster, pfs, dem = build_world(scheme="TS", kernel="gaussian")
+        res = drive(
+            cluster,
+            DynamicActiveStorageScheme(pfs).run_operation(
+                "gaussian", "in", "out", pipeline_length=4
+            ),
+        )
+        assert res.offloaded
+        assert res.extra["redistribution_bytes"] > 0
+
+    def test_das_beats_both_on_predistributed_data(self, drive):
+        times = {}
+        for label in ("TS", "NAS", "DAS"):
+            cluster, pfs, dem = build_world(
+                rows=256, cols=256, scheme=label, kernel="gaussian"
+            )
+            res = drive(
+                cluster, SCHEMES[label](pfs).run_operation("gaussian", "in", "out")
+            )
+            times[label] = res.elapsed
+        assert times["DAS"] < times["TS"] < times["NAS"]

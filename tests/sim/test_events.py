@@ -1,0 +1,187 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+def test_fresh_event_is_pending(env):
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_succeed_sets_value(env):
+    ev = env.event()
+    ev.succeed(42)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 42
+
+
+def test_succeed_twice_raises(env):
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_then_succeed_raises(env):
+    ev = env.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_failure_surfaces_in_run(env):
+    ev = env.event()
+    ev.fail(ValueError("nobody caught me"))
+    with pytest.raises(ValueError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failure_does_not_surface(env):
+    ev = env.event()
+    ev.fail(ValueError("defused"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_timeout_negative_delay_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_fires_at_delay(env):
+    t = env.timeout(5.0, value="done")
+    env.run()
+    assert env.now == 5.0
+    assert t.value == "done"
+
+
+def test_timeouts_fire_in_order(env):
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        t = env.timeout(delay, value=delay)
+        t.callbacks.append(lambda ev: order.append(ev.value))
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_trigger_mirrors_success(env):
+    a, b = env.event(), env.event()
+    a.succeed("x")
+    b.trigger(a)
+    assert b.triggered and b.ok and b.value == "x"
+
+
+def test_trigger_mirrors_failure(env):
+    a, b = env.event(), env.event()
+    exc = RuntimeError("mirrored")
+    a.fail(exc)
+    a.defuse()
+    b.trigger(a)
+    b.defuse()
+    assert b.triggered and not b._ok
+    assert b.value is exc
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(2, "b")
+        cond = AllOf(env, [t1, t2])
+
+        def waiter():
+            result = yield cond
+            return (env.now, result[t1], result[t2])
+
+        got = env.run(until=env.process(waiter()))
+        assert got == (2, "a", "b")
+
+    def test_anyof_fires_on_first(self, env):
+        t1 = env.timeout(1, "fast")
+        t2 = env.timeout(5, "slow")
+
+        def waiter():
+            result = yield AnyOf(env, [t1, t2])
+            return (env.now, t1 in result, t2 in result)
+
+        got = env.run(until=env.process(waiter()))
+        assert got == (1, True, False)
+
+    def test_empty_allof_succeeds_immediately(self, env):
+        def waiter():
+            result = yield AllOf(env, [])
+            return len(result)
+
+        assert env.run(until=env.process(waiter())) == 0
+
+    def test_and_operator(self, env):
+        def waiter():
+            yield env.timeout(1) & env.timeout(2)
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 2
+
+    def test_or_operator(self, env):
+        def waiter():
+            yield env.timeout(1) | env.timeout(9)
+            return env.now
+
+        assert env.run(until=env.process(waiter())) == 1
+
+    def test_condition_propagates_failure(self, env):
+        def failer():
+            yield env.timeout(1)
+            raise RuntimeError("inner")
+
+        p = env.process(failer())
+
+        def waiter():
+            with pytest.raises(RuntimeError, match="inner"):
+                yield p & env.timeout(10)
+            return "handled"
+
+        assert env.run(until=env.process(waiter())) == "handled"
+
+    def test_condition_rejects_cross_environment_events(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])
+
+    def test_condition_value_mapping_api(self, env):
+        t1 = env.timeout(1, "x")
+
+        def waiter():
+            result = yield AllOf(env, [t1])
+            assert t1 in result
+            assert list(iter(result)) == [t1]
+            assert result.todict() == {t1: "x"}
+            with pytest.raises(KeyError):
+                _ = result[env.event()]
+            return len(result)
+
+        assert env.run(until=env.process(waiter())) == 1
+
+
+def test_already_processed_event_can_be_yielded(env):
+    t = env.timeout(1, "early")
+
+    def late_waiter():
+        yield env.timeout(5)
+        value = yield t  # t processed long ago
+        return (env.now, value)
+
+    assert env.run(until=env.process(late_waiter())) == (5, "early")
