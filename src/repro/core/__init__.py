@@ -20,6 +20,12 @@ from .decision import (
     DecisionEngine,
     OffloadDecision,
 )
+from .decision_cache import (
+    DecisionCache,
+    DecisionCacheStats,
+    layout_signature,
+    pattern_signature,
+)
 from .features import KernelFeatures
 from .layout_opt import LayoutOptimizer, LayoutPlan
 from .pipeline import Pipeline, PipelineStage
@@ -46,6 +52,8 @@ __all__ = [
     "ActiveStorageClient",
     "BandwidthPredictor",
     "BandwidthPrediction",
+    "DecisionCache",
+    "DecisionCacheStats",
     "DecisionEngine",
     "GraphOp",
     "OperationGraph",
@@ -66,6 +74,8 @@ __all__ = [
     "cross_server_elements",
     "dependence_is_local",
     "element_movement_bytes",
+    "layout_signature",
+    "pattern_signature",
     "location_grouped",
     "location_round_robin",
     "offload_interserver_bytes",

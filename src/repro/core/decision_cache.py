@@ -1,0 +1,155 @@
+"""Decision reuse: a memo of :class:`DecisionEngine` verdicts.
+
+Under serving load the Fig. 3 workflow runs per *request*, not per
+dataset — thousands of requests against a handful of (kernel, layout,
+size) combinations.  The engine's verdict depends only on the kernel's
+dependence pattern, the file's layout, its geometry and the declared
+pipeline length, so identical requests can share one computed decision.
+
+The cache key deliberately excludes the file *name*: two files with the
+same layout, size and shape get the same verdict, which is exactly the
+reuse a multi-tenant serving mix needs.  Redistribution changes a
+file's layout and therefore its key, so stale reuse is structurally
+impossible; :meth:`DecisionCache.invalidate_meta` additionally drops
+every entry recorded against the pre-redistribution geometry (the
+planned-layout part of those decisions referenced a plan that has now
+been executed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..errors import ActiveStorageError
+from ..kernels.pattern import DependencePattern
+from ..pfs.datafile import FileMeta
+from ..pfs.layout import Layout
+from .decision import DecisionEngine, OffloadDecision
+
+
+def layout_signature(layout: Layout) -> Tuple[Hashable, ...]:
+    """A hashable identity for a layout: type, servers, strip size and
+    the placement parameters concrete subclasses add (group, halo)."""
+    extras = tuple(
+        (attr, getattr(layout, attr))
+        for attr in ("group", "halo_strips")
+        if hasattr(layout, attr)
+    )
+    return (
+        type(layout).__name__,
+        tuple(layout.servers),
+        layout.strip_size,
+        extras,
+    )
+
+
+def pattern_signature(pattern: DependencePattern) -> Tuple[Hashable, ...]:
+    """A hashable identity for a dependence pattern (name + offsets)."""
+    return (
+        pattern.name,
+        tuple((term.width_coef, term.const) for term in pattern.terms),
+    )
+
+
+@dataclass
+class DecisionCacheStats:
+    """Hit/miss/eviction/invalidation tallies for reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DecisionCache:
+    """LRU memo in front of a :class:`DecisionEngine`.
+
+    ``capacity`` bounds the number of cached verdicts (LRU eviction);
+    a serving mix rarely needs more than kernels x layouts x sizes.
+    """
+
+    def __init__(self, engine: DecisionEngine, capacity: int = 256):
+        if capacity <= 0:
+            raise ActiveStorageError(
+                f"decision cache capacity must be positive, got {capacity!r}"
+            )
+        self.engine = engine
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, OffloadDecision]" = OrderedDict()
+        self.stats = DecisionCacheStats()
+
+    def key(
+        self, meta: FileMeta, operator: str, pipeline_length: int = 1
+    ) -> Tuple[Hashable, ...]:
+        pattern = self.engine.features.get(operator)
+        return (
+            pattern_signature(pattern),
+            layout_signature(meta.layout),
+            meta.size,
+            meta.shape,
+            max(1, int(pipeline_length)),
+        )
+
+    def decide(
+        self,
+        meta: FileMeta,
+        operator: str,
+        pipeline_length: int = 1,
+        allow_redistribution: bool = True,
+    ) -> OffloadDecision:
+        """The engine's verdict, served from cache when available."""
+        if not allow_redistribution:
+            # Rarely used, decision space differs: bypass the cache.
+            return self.engine.decide(
+                meta, operator, pipeline_length, allow_redistribution=False
+            )
+        k = self.key(meta, operator, pipeline_length)
+        cached = self._entries.get(k)
+        if cached is not None:
+            self._entries.move_to_end(k)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        decision = self.engine.decide(meta, operator, pipeline_length)
+        self._entries[k] = decision
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return decision
+
+    def invalidate_meta(self, meta: FileMeta, layout: Optional[Layout] = None) -> int:
+        """Drop every entry keyed on this file's (layout, size, shape).
+
+        Call after redistributing a file: entries for its *old* geometry
+        are gone, and the next :meth:`decide` recomputes against the new
+        layout.  ``layout`` overrides ``meta.layout`` — pass the
+        pre-move layout, because redistribution swaps the layout on the
+        *same* :class:`FileMeta` record in place.  Returns the number of
+        entries dropped.
+        """
+        sig = (layout_signature(layout or meta.layout), meta.size, meta.shape)
+        victims = [k for k in self._entries if (k[1], k[2], k[3]) == sig]
+        for k in victims:
+            del self._entries[k]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DecisionCache {len(self._entries)}/{self.capacity}"
+            f" hit_rate={self.stats.hit_rate:.0%}>"
+        )

@@ -94,6 +94,15 @@ class OffloadRejectedError(ActiveStorageError):
         self.decision = decision
 
 
+class ServeError(ReproError):
+    """Errors raised by the request-serving layer."""
+
+
+class AdmissionError(ServeError):
+    """A request was submitted in a state the admission path rejects
+    outright (unknown tenant, closed system, malformed request)."""
+
+
 class HarnessError(ReproError):
     """Errors raised by the experiment harness."""
 

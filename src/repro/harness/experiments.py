@@ -414,6 +414,8 @@ def ext_oversub(
     )
 
 
+from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
+
 #: Experiment id -> regenerator.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1,
@@ -423,6 +425,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "fig13": fig13,
     "fig14": fig14,
     "ext-oversub": ext_oversub,
+    "serve-bench": serve_bench,
 }
 
 

@@ -1,16 +1,21 @@
 """Measurement utilities: traffic accounting, statistics, reporting."""
 
 from .accounting import TrafficDelta, TrafficMeter, sustained_bandwidth
-from .report import format_checks, format_series, format_table
+from .report import format_checks, format_latency_table, format_series, format_table
+from .stats import LatencySummary, latency_summary, percentile
 from .timeline import Timeline, render_gantt, utilization_table
 
 __all__ = [
+    "LatencySummary",
     "Timeline",
     "TrafficDelta",
     "TrafficMeter",
     "format_checks",
+    "format_latency_table",
     "format_series",
     "format_table",
+    "latency_summary",
+    "percentile",
     "render_gantt",
     "sustained_bandwidth",
     "utilization_table",

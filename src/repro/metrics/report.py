@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Tuple
 
+from .stats import LatencySummary
+
 
 def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str] | None = None) -> str:
     """Fixed-width text table from dict rows."""
@@ -43,6 +45,24 @@ def format_series(
         points = ", ".join(f"{x}: {y:.4g}{unit}" for x, y in series[name])
         lines.append(f"  {name:28s} {points}")
     return "\n".join(lines)
+
+
+def format_latency_table(
+    summaries: Dict[str, LatencySummary], unit: str = "s", scale: float = 1.0
+) -> str:
+    """Render named latency digests as one table row per name.
+
+    ``scale`` multiplies every statistic (e.g. 1e3 with ``unit="ms"``).
+    All aggregation lives in :func:`repro.metrics.stats.latency_summary`;
+    this function only formats.
+    """
+    rows = []
+    for name, summary in summaries.items():
+        row: Dict[str, Any] = {"name": name, "count": summary.count}
+        for stat in ("mean", "p50", "p95", "p99", "max"):
+            row[f"{stat}_{unit}"] = getattr(summary, stat) * scale
+        rows.append(row)
+    return format_table(rows)
 
 
 def format_checks(checks: Sequence[Tuple[str, bool]]) -> str:

@@ -1,0 +1,68 @@
+"""Latency statistics: the summary every serving report quotes.
+
+One canonical implementation of {p50, p95, p99, mean, max} so the
+serving layer, the harness and ad-hoc scripts all aggregate latencies
+the same way.  Percentiles use the *nearest-rank* definition (no
+interpolation): deterministic, exact on small samples, and stable
+across NumPy versions — summaries are asserted bit-identical between
+runs, so the definition is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``q`` is in (0, 100]; the result is always an element of the input
+    (never interpolated).  Empty input returns 0.0.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q!r}")
+    rank = -(-int(q * n) // 100)  # ceil(q * n / 100) in integer arithmetic
+    return float(sorted_values[max(0, min(n, rank) - 1)])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The standard latency digest: count, mean, tail percentiles, max."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @property
+    def row(self) -> Dict[str, float]:
+        """Flat dict form for :func:`repro.metrics.report.format_table`."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def latency_summary(values: Iterable[float]) -> LatencySummary:
+    """Summarise a collection of latencies (seconds or any unit)."""
+    xs: List[float] = sorted(float(v) for v in values)
+    if not xs:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+    return LatencySummary(
+        count=len(xs),
+        mean=sum(xs) / len(xs),
+        p50=percentile(xs, 50),
+        p95=percentile(xs, 95),
+        p99=percentile(xs, 99),
+        max=xs[-1],
+    )

@@ -12,11 +12,19 @@ concurrently, exactly like the real bipartite traffic pattern.
 Rates are recomputed whenever a flow starts or finishes; between
 recomputations every flow drains linearly, so the controller only needs
 one timer for the earliest completion.
+
+Flow and link collections are insertion-ordered dicts, never sets:
+progressive filling breaks bottleneck ties by iteration order and
+accumulates float rates in it, and same-instant completions fire their
+events in it.  Identity-hashed sets would make all three follow object
+memory addresses — two same-seed runs would drift apart in the last
+ulps and in event order, which the serving benches (bit-identical
+replay) would catch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import NetworkError, SimulationError
 from ..sim import Environment, Event
@@ -35,7 +43,7 @@ class FluidLink:
             raise NetworkError(f"link {name!r} capacity must be positive")
         self.name = name
         self.capacity = float(capacity)
-        self.flows: Set["FluidFlow"] = set()
+        self.flows: Dict["FluidFlow", None] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<FluidLink {self.name} cap={self.capacity:.3g} flows={len(self.flows)}>"
@@ -61,7 +69,7 @@ class FluidScheduler:
     def __init__(self, env: Environment):
         self.env = env
         self._links: Dict[str, FluidLink] = {}
-        self._flows: Set[FluidFlow] = set()
+        self._flows: Dict[FluidFlow, None] = {}
         self._last_advance = env.now
         self._controller: Optional[Process] = None
 
@@ -90,9 +98,9 @@ class FluidScheduler:
         links = tuple(self._links[n] for n in link_names)
         self._advance()
         flow = FluidFlow(size, links, done, self.env.now)
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in links:
-            link.flows.add(flow)
+            link.flows[flow] = None
         self._recompute()
         self._kick_controller()
         return done
@@ -112,10 +120,10 @@ class FluidScheduler:
         for flow in self._flows:
             flow.rate = 0.0
         residual = {link: link.capacity for link in self._active_links()}
-        pending: Dict[FluidLink, Set[FluidFlow]] = {
-            link: set(link.flows) for link in residual
+        pending: Dict[FluidLink, Dict[FluidFlow, None]] = {
+            link: dict(link.flows) for link in residual
         }
-        unassigned = set(self._flows)
+        unassigned = dict.fromkeys(self._flows)
         while unassigned:
             bottleneck = None
             share = float("inf")
@@ -129,15 +137,15 @@ class FluidScheduler:
                 raise SimulationError("flows exist but no link carries them")
             for flow in list(pending[bottleneck]):
                 flow.rate = share
-                unassigned.discard(flow)
+                unassigned.pop(flow, None)
                 for link in flow.links:
                     residual[link] -= share
-                    pending[link].discard(flow)
+                    pending[link].pop(flow, None)
 
     def _active_links(self) -> List[FluidLink]:
-        seen: Set[FluidLink] = set()
+        seen: Dict[FluidLink, None] = {}
         for flow in self._flows:
-            seen.update(flow.links)
+            seen.update(dict.fromkeys(flow.links))
         return list(seen)
 
     def _next_completion(self) -> float:
@@ -173,9 +181,9 @@ class FluidScheduler:
             self._advance()
             finished = [f for f in self._flows if f.remaining <= _EPS * max(1.0, f.size)]
             for flow in finished:
-                self._flows.discard(flow)
+                self._flows.pop(flow, None)
                 for link in flow.links:
-                    link.flows.discard(flow)
+                    link.flows.pop(flow, None)
                 flow.event.succeed()
             if finished:
                 self._recompute()

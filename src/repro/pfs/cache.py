@@ -6,6 +6,11 @@ over strip identifiers — it tracks *which strips are memory-resident*,
 not their contents (the data servers already hold the real bytes; the
 cache only decides whether an access costs disk time).
 
+When given a :class:`~repro.sim.monitor.MonitorHub`, every hit, miss
+and eviction is mirrored into the cluster-wide counters
+``pfs.cache.hits.<node>`` / ``.misses.<node>`` / ``.evictions.<node>``
+so the cache ablation can report hit ratios from the monitors alone.
+
 Disabled by default (budget 0) so the calibrated experiment timings are
 unaffected; the cache ablation enables it explicitly.
 """
@@ -13,9 +18,10 @@ unaffected; the cache ablation enables it explicitly.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Tuple
+from typing import Hashable, Optional, Tuple
 
 from ..errors import PFSError
+from ..sim.monitor import MonitorHub
 
 Key = Tuple[str, int]  # (file name, strip index)
 
@@ -23,7 +29,12 @@ Key = Tuple[str, int]  # (file name, strip index)
 class StripCache:
     """Byte-budgeted LRU of memory-resident strips."""
 
-    def __init__(self, budget_bytes: int):
+    def __init__(
+        self,
+        budget_bytes: int,
+        monitors: Optional[MonitorHub] = None,
+        owner: str = "",
+    ):
         if budget_bytes < 0:
             raise PFSError(f"cache budget must be >= 0, got {budget_bytes!r}")
         self.budget = int(budget_bytes)
@@ -31,6 +42,14 @@ class StripCache:
         self._used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if monitors is not None and not owner:
+            raise PFSError("a monitored StripCache needs an owner name")
+        self._hit_counter = monitors.counter(f"pfs.cache.hits.{owner}") if monitors else None
+        self._miss_counter = monitors.counter(f"pfs.cache.misses.{owner}") if monitors else None
+        self._evict_counter = (
+            monitors.counter(f"pfs.cache.evictions.{owner}") if monitors else None
+        )
 
     @property
     def enabled(self) -> bool:
@@ -50,8 +69,12 @@ class StripCache:
         if key in self._resident:
             self._resident.move_to_end(key)
             self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.add()
             return True
         self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.add()
         return False
 
     def insert(self, key: Key, size: int) -> None:
@@ -66,6 +89,9 @@ class StripCache:
         while self._used + size > self.budget and self._resident:
             _, evicted = self._resident.popitem(last=False)
             self._used -= evicted
+            self.evictions += 1
+            if self._evict_counter is not None:
+                self._evict_counter.add()
         self._resident[key] = size
         self._used += size
 

@@ -71,7 +71,9 @@ class DataServer:
         self.metadata = metadata
         self.monitors = node.monitors
         self._strips: Dict[Tuple[str, int], np.ndarray] = {}
-        self.cache = StripCache(node.spec.server_cache_bytes)
+        self.cache = StripCache(
+            node.spec.server_cache_bytes, monitors=node.monitors, owner=node.name
+        )
         self._service_proc = self.env.process(self._serve(), name=f"pfs-server:{node.name}")
 
     @property

@@ -1,0 +1,35 @@
+"""Multi-tenant request serving over the simulated storage stack.
+
+The paper evaluates one operation at a time; this package turns the
+simulator into a *loaded service*: open-loop Poisson tenants offer
+requests, an admission controller sheds what bounded queues cannot
+hold, a deficit-weighted-round-robin scheduler dispatches fairly, a
+load-aware executor chooses offload vs. normal I/O per request (through
+a decision cache), and an SLO board accounts every admitted request
+into exactly one terminal outcome with per-tenant tail latencies.
+"""
+
+from .dispatch import SCHEMES, LoadAwareExecutor
+from .scheduler import FairScheduler, RetryPolicy
+from .service import ServeConfig, ServeSystem
+from .slo import COMPLETED, EXPIRED, FAILED, LATE, OUTCOMES, SLOBoard, TenantStats
+from .workload import OpenLoopWorkload, ServeRequest, TenantSpec
+
+__all__ = [
+    "COMPLETED",
+    "EXPIRED",
+    "FAILED",
+    "LATE",
+    "OUTCOMES",
+    "FairScheduler",
+    "LoadAwareExecutor",
+    "OpenLoopWorkload",
+    "RetryPolicy",
+    "SCHEMES",
+    "SLOBoard",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeSystem",
+    "TenantSpec",
+    "TenantStats",
+]

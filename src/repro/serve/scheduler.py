@@ -1,0 +1,179 @@
+"""Admission control + deficit-weighted-round-robin fair scheduling.
+
+The serving layer sits between the open-loop workload and the storage
+backend:
+
+* **Admission**: each tenant owns a bounded FIFO; a full queue rejects
+  the arrival outright (queue-full shedding) so an abusive tenant's
+  backlog is bounded and visible, never silently unbounded.
+* **Fair scheduling**: a single dispatcher drains the tenant queues
+  with deficit weighted round robin (DWRR).  Each round a tenant's
+  deficit grows by ``quantum * weight``; it may dispatch requests while
+  the head-of-line *cost* (input bytes) fits the deficit.  Weighted
+  byte-fairness thus holds even when tenants mix small and large
+  requests, and no backlogged tenant can be starved.
+* **Deadlines**: a request whose deadline passes while queued is
+  dropped at dequeue (``expired``); one that finishes past its
+  deadline is counted as ``late``.
+* **Retries**: executor failures are retried with exponential backoff
+  up to a bounded attempt budget, then settled as ``failed``.
+
+The dispatcher applies backpressure by holding one concurrency slot per
+in-flight request: queue depth builds (and admission sheds) exactly
+when the backend saturates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..errors import AdmissionError, ServeError
+from ..hw.cluster import Cluster
+from ..sim.resources import Resource
+from .slo import COMPLETED, EXPIRED, FAILED, LATE, SLOBoard
+from .workload import ServeRequest, TenantSpec
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff."""
+
+    max_attempts: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ServeError("retry policy needs max_attempts >= 1")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ServeError("retry policy needs backoff >= 0, factor >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+class FairScheduler:
+    """Bounded per-tenant queues drained by a DWRR dispatcher."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tenants: Tuple[TenantSpec, ...],
+        executor,
+        board: SLOBoard,
+        queue_capacity: int = 16,
+        concurrency: int = 4,
+        quantum: int = 256 * 1024,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        if queue_capacity < 1 or concurrency < 1 or quantum < 1:
+            raise ServeError("queue_capacity, concurrency and quantum must be >= 1")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.executor = executor
+        self.board = board
+        self.queue_capacity = int(queue_capacity)
+        self.quantum = int(quantum)
+        self.retry = retry or RetryPolicy()
+        self.weights: Dict[str, float] = {t.name: t.weight for t in tenants}
+        self.queues: Dict[str, Deque[ServeRequest]] = {
+            t.name: deque() for t in tenants
+        }
+        self._deficit: Dict[str, float] = {t.name: 0.0 for t in tenants}
+        self._slots = Resource(self.env, capacity=int(concurrency))
+        self._kick = self.env.event()
+        self._monitors = cluster.monitors
+        self._depth_gauge = cluster.monitors.gauge("serve.queue.depth")
+        self._dispatcher = self.env.process(self._dispatch_loop(), name="serve-dispatch")
+        #: Dispatch order, for fairness assertions in tests.
+        self.dispatch_log: list = []
+
+    # -- admission ------------------------------------------------------------
+    def submit(self, req: ServeRequest) -> bool:
+        """Admit ``req`` into its tenant queue, or shed it.
+
+        Returns True iff admitted.  Never blocks the caller (open loop).
+        """
+        queue = self.queues.get(req.tenant)
+        if queue is None:
+            raise AdmissionError(f"unknown tenant {req.tenant!r}")
+        if len(queue) >= self.queue_capacity:
+            self.board.rejected(req)
+            return False
+        if req.cost <= 0:
+            req.cost = self.executor.request_cost(req)
+        queue.append(req)
+        self.board.admitted(req)
+        self._depth_gauge.adjust(+1)
+        if not self._kick.triggered:
+            self._kick.succeed()
+        return True
+
+    def backlog(self, tenant: str) -> int:
+        return len(self.queues[tenant])
+
+    # -- DWRR dispatcher --------------------------------------------------------
+    def _backlogged(self):
+        return [t for t, q in self.queues.items() if q]
+
+    def _dispatch_loop(self):
+        while True:
+            if not any(self.queues.values()):
+                # Sleep until the next admission kicks us.
+                self._kick = self.env.event()
+                yield self._kick
+            # One DWRR round over the currently backlogged tenants.
+            for tenant in self._backlogged():
+                queue = self.queues[tenant]
+                self._deficit[tenant] += self.quantum * self.weights[tenant]
+                while queue and queue[0].cost <= self._deficit[tenant]:
+                    slot = self._slots.request()
+                    yield slot  # backpressure: wait for a free slot
+                    if not queue:
+                        slot.cancel()
+                        break
+                    req = queue.popleft()
+                    self._depth_gauge.adjust(-1)
+                    self._deficit[tenant] -= req.cost
+                    if self.env.now > req.deadline:
+                        # Died waiting in the queue.
+                        slot.cancel()
+                        self.board.settle(req, EXPIRED)
+                        continue
+                    self.dispatch_log.append((req.tenant, req.req_id))
+                    self.env.process(
+                        self._attempt(req, slot), name=f"serve-req:{req.req_id}"
+                    )
+                if not queue:
+                    # Classic DWRR: an emptied queue forfeits its deficit.
+                    self._deficit[tenant] = 0.0
+
+    # -- per-request execution with retry ---------------------------------------
+    def _attempt(self, req: ServeRequest, slot):
+        try:
+            req.started = self.env.now
+            while True:
+                req.attempts += 1
+                try:
+                    result = yield self.executor.execute(req)
+                except ServeError:
+                    raise  # accounting bugs must not be retried into silence
+                except Exception as exc:  # noqa: BLE001 - backend fault domain
+                    if req.attempts >= self.retry.max_attempts:
+                        req.finished = self.env.now
+                        req.extra["error"] = repr(exc)
+                        self.board.settle(req, FAILED)
+                        return
+                    self.board.retried(req)
+                    yield self.env.timeout(self.retry.delay(req.attempts))
+                    continue
+                req.finished = self.env.now
+                req.extra["result"] = result
+                outcome = COMPLETED if req.finished <= req.deadline else LATE
+                self.board.settle(req, outcome)
+                return
+        finally:
+            slot.cancel()

@@ -1,0 +1,169 @@
+"""SLO accounting for the serving layer.
+
+Every request admitted by the controller must end in *exactly one* of
+four terminal outcomes — the conservation law the property tests pin:
+
+* ``completed`` — finished within its deadline,
+* ``late``      — finished, but after the deadline (SLO violation),
+* ``expired``   — dropped at dequeue because its deadline had already
+  passed while it sat in the tenant queue,
+* ``failed``    — the executor raised on every retry attempt.
+
+Requests the admission controller turns away (``rejected``) were never
+admitted and sit outside the conservation set.  The board enforces the
+exactly-once rule itself: double-finishing a request or finishing an
+unadmitted request raises, so a scheduler bug cannot silently cook the
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ServeError
+from ..metrics.stats import LatencySummary, latency_summary
+from ..sim.monitor import MonitorHub
+from .workload import ServeRequest
+
+#: Terminal outcomes of an admitted request.
+COMPLETED = "completed"
+LATE = "late"
+EXPIRED = "expired"
+FAILED = "failed"
+OUTCOMES = (COMPLETED, LATE, EXPIRED, FAILED)
+
+
+@dataclass
+class TenantStats:
+    """Mutable per-tenant tallies accumulated during a run."""
+
+    tenant: str
+    admitted: int = 0
+    rejected: int = 0
+    outcomes: Dict[str, int] = field(
+        default_factory=lambda: {o: 0 for o in OUTCOMES}
+    )
+    #: Arrival-to-finish latencies of completed + late requests.
+    latencies: List[float] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def finished(self) -> int:
+        return self.outcomes[COMPLETED] + self.outcomes[LATE]
+
+    @property
+    def settled(self) -> int:
+        return sum(self.outcomes.values())
+
+    def latency(self) -> LatencySummary:
+        return latency_summary(self.latencies)
+
+
+class SLOBoard:
+    """Exactly-once outcome ledger + per-tenant latency accounting."""
+
+    def __init__(self, monitors: Optional[MonitorHub] = None):
+        self.monitors = monitors
+        self.tenants: Dict[str, TenantStats] = {}
+        #: req_id -> terminal outcome; the conservation ledger.
+        self._settled: Dict[int, str] = {}
+        self._admitted: Dict[int, str] = {}  # req_id -> tenant
+
+    def _stats(self, tenant: str) -> TenantStats:
+        stats = self.tenants.get(tenant)
+        if stats is None:
+            stats = self.tenants[tenant] = TenantStats(tenant)
+        return stats
+
+    def _count(self, name: str) -> None:
+        if self.monitors is not None:
+            self.monitors.counter(f"serve.{name}").add()
+
+    # -- admission ------------------------------------------------------------
+    def admitted(self, req: ServeRequest) -> None:
+        if req.req_id in self._admitted:
+            raise ServeError(f"request {req.req_id} admitted twice")
+        self._admitted[req.req_id] = req.tenant
+        self._stats(req.tenant).admitted += 1
+        self._count("admitted")
+
+    def rejected(self, req: ServeRequest) -> None:
+        if req.req_id in self._admitted:
+            raise ServeError(f"request {req.req_id} was already admitted")
+        self._stats(req.tenant).rejected += 1
+        self._count("rejected")
+
+    def retried(self, req: ServeRequest) -> None:
+        self._stats(req.tenant).retries += 1
+        self._count("retries")
+
+    # -- settlement ------------------------------------------------------------
+    def settle(self, req: ServeRequest, outcome: str) -> None:
+        """Record the terminal outcome of an admitted request (once)."""
+        if outcome not in OUTCOMES:
+            raise ServeError(f"unknown outcome {outcome!r}")
+        if req.req_id not in self._admitted:
+            raise ServeError(f"request {req.req_id} settled without admission")
+        if req.req_id in self._settled:
+            raise ServeError(
+                f"request {req.req_id} settled twice:"
+                f" {self._settled[req.req_id]!r} then {outcome!r}"
+            )
+        self._settled[req.req_id] = outcome
+        stats = self._stats(req.tenant)
+        stats.outcomes[outcome] += 1
+        if outcome in (COMPLETED, LATE):
+            stats.latencies.append(req.latency())
+        self._count(outcome)
+
+    # -- invariants ------------------------------------------------------------
+    @property
+    def total_admitted(self) -> int:
+        return len(self._admitted)
+
+    @property
+    def total_settled(self) -> int:
+        return len(self._settled)
+
+    def conservation_ok(self) -> bool:
+        """True iff every admitted request has exactly one outcome."""
+        return set(self._settled) == set(self._admitted)
+
+    def unsettled(self) -> List[int]:
+        return sorted(set(self._admitted) - set(self._settled))
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self, elapsed: float) -> Dict[str, dict]:
+        """Deterministic per-tenant summary rows (plus an ``_all`` row)."""
+        out: Dict[str, dict] = {}
+        all_latencies: List[float] = []
+        for name in sorted(self.tenants):
+            stats = self.tenants[name]
+            lat = stats.latency()
+            all_latencies.extend(stats.latencies)
+            out[name] = {
+                "admitted": stats.admitted,
+                "rejected": stats.rejected,
+                "retries": stats.retries,
+                "throughput": stats.outcomes[COMPLETED] / elapsed if elapsed else 0.0,
+                **dict(stats.outcomes),
+                **{f"lat_{k}": v for k, v in lat.row.items()},
+            }
+        total = latency_summary(all_latencies)
+        out["_all"] = {
+            "admitted": self.total_admitted,
+            "rejected": sum(s.rejected for s in self.tenants.values()),
+            "retries": sum(s.retries for s in self.tenants.values()),
+            "throughput": (
+                sum(s.outcomes[COMPLETED] for s in self.tenants.values()) / elapsed
+                if elapsed
+                else 0.0
+            ),
+            **{
+                o: sum(s.outcomes[o] for s in self.tenants.values())
+                for o in OUTCOMES
+            },
+            **{f"lat_{k}": v for k, v in total.row.items()},
+        }
+        return out

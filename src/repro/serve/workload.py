@@ -1,0 +1,154 @@
+"""Open-loop multi-tenant workload generation.
+
+A serving system is evaluated under *offered* load: arrivals keep
+coming at their configured rate whether or not earlier requests have
+finished (open loop), which is what exposes queueing collapse — a
+closed loop would politely slow down with the system and hide it.
+
+Each tenant draws Poisson arrivals and per-request (kernel, file)
+choices from its own named substream of the cluster's
+:class:`~repro.sim.rand.RandomStreams`, so adding a tenant never
+perturbs another tenant's draws and any run is exactly reproducible
+from the root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ServeError
+from ..hw.cluster import Cluster
+
+#: Substream prefix for all serving-layer randomness.
+STREAM_PREFIX = "serve.arrivals."
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the serving system.
+
+    ``rate`` is the offered arrival rate in requests per simulated
+    second at load multiplier 1.0; ``weight`` is the fair-share weight
+    the scheduler grants the tenant's queue.
+    """
+
+    name: str
+    rate: float
+    weight: float = 1.0
+    #: Operators this tenant issues, chosen uniformly per request.
+    kernels: Tuple[str, ...] = ("gaussian",)
+    #: Input files this tenant reads, chosen uniformly per request.
+    files: Tuple[str, ...] = ()
+    #: Pipeline length declared on each request (amortisation hint).
+    pipeline_length: int = 1
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ServeError(f"tenant {self.name!r} needs a positive rate")
+        if self.weight <= 0:
+            raise ServeError(f"tenant {self.name!r} needs a positive weight")
+        if not self.kernels:
+            raise ServeError(f"tenant {self.name!r} declares no kernels")
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight request as tracked by the serving layer."""
+
+    req_id: int
+    tenant: str
+    operator: str
+    file: str
+    #: Simulated time the request arrived at the admission controller.
+    arrival: float
+    #: Absolute simulated deadline; queue time counts against it.
+    deadline: float
+    #: Scheduler cost (bytes of input): the DWRR deficit currency.
+    cost: int
+    pipeline_length: int = 1
+    attempts: int = 0
+    #: Filled in as the request moves through the system.
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def output(self) -> str:
+        """Unique output file name (no collisions across requests)."""
+        return f"{self.file}.out.{self.req_id}"
+
+    def latency(self) -> float:
+        if self.finished is None:
+            raise ServeError(f"request {self.req_id} has not finished")
+        return self.finished - self.arrival
+
+
+class OpenLoopWorkload:
+    """Poisson arrival processes, one per tenant, feeding a sink.
+
+    ``sink`` is anything with a ``submit(request) -> bool`` method (the
+    admission controller); the generator does not wait for completions.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tenants: Tuple[TenantSpec, ...],
+        duration: float,
+        deadline: float,
+        load: float = 1.0,
+    ):
+        if not tenants:
+            raise ServeError("workload needs at least one tenant")
+        if len({t.name for t in tenants}) != len(tenants):
+            raise ServeError("tenant names must be unique")
+        if duration <= 0 or deadline <= 0 or load <= 0:
+            raise ServeError("duration, deadline and load must be positive")
+        self.cluster = cluster
+        self.tenants = tuple(tenants)
+        self.duration = float(duration)
+        self.deadline = float(deadline)
+        self.load = float(load)
+        self._next_id = 0
+        #: Requests handed to the sink, in submission order.
+        self.generated = 0
+
+    def start(self, sink) -> list:
+        """Spawn one arrival process per tenant; returns the processes."""
+        env = self.cluster.env
+        return [
+            env.process(self._arrivals(t, sink), name=f"serve-arrivals:{t.name}")
+            for t in self.tenants
+        ]
+
+    def _arrivals(self, tenant: TenantSpec, sink):
+        env = self.cluster.env
+        rng = self.cluster.rand.stream(f"{STREAM_PREFIX}{tenant.name}")
+        rate = tenant.rate * self.load
+        while True:
+            gap = rng.exponential(1.0 / rate)
+            if env.now + gap >= self.duration:
+                return
+            yield env.timeout(gap)
+            sink.submit(self._make_request(tenant, rng))
+
+    def _make_request(self, tenant: TenantSpec, rng) -> ServeRequest:
+        env = self.cluster.env
+        operator = tenant.kernels[int(rng.integers(len(tenant.kernels)))]
+        if tenant.files:
+            file = tenant.files[int(rng.integers(len(tenant.files)))]
+        else:
+            raise ServeError(f"tenant {tenant.name!r} has no files to read")
+        self._next_id += 1
+        self.generated += 1
+        return ServeRequest(
+            req_id=self._next_id,
+            tenant=tenant.name,
+            operator=operator,
+            file=file,
+            arrival=env.now,
+            deadline=env.now + self.deadline,
+            cost=0,  # admission fills in the file size
+            pipeline_length=tenant.pipeline_length,
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the decision cache (memo over the decision engine)."""
+
+import pytest
+
+from repro.core import DecisionEngine, KernelFeatures
+from repro.core.decision_cache import DecisionCache, layout_signature, pattern_signature
+from repro.errors import ActiveStorageError
+from repro.kernels import DependencePattern
+from repro.pfs import ReplicatedGroupedLayout, RoundRobinLayout
+from repro.pfs.datafile import FileMeta
+
+SERVERS = [f"s{i}" for i in range(4)]
+E = 8
+STRIP = 512
+
+
+def make_meta(name="f", n_strips=64, layout=None, width=32):
+    layout = layout or RoundRobinLayout(SERVERS, STRIP)
+    size = n_strips * STRIP
+    n_elements = size // E
+    shape = (n_elements // width, width) if width else None
+    return FileMeta(name, size=size, layout=layout, shape=shape)
+
+
+@pytest.fixture
+def engine():
+    return DecisionEngine(features=KernelFeatures.from_registry())
+
+
+@pytest.fixture
+def cache(engine):
+    return DecisionCache(engine)
+
+
+class TestCaching:
+    def test_miss_then_hit(self, cache):
+        meta = make_meta()
+        first = cache.decide(meta, "flow-routing", pipeline_length=4)
+        second = cache.decide(meta, "flow-routing", pipeline_length=4)
+        assert second is first  # memoised, not recomputed
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_key_excludes_file_name(self, cache):
+        a = make_meta("a")
+        b = make_meta("b")  # same layout / size / shape, different name
+        first = cache.decide(a, "flow-routing")
+        second = cache.decide(b, "flow-routing")
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_distinct_pipeline_lengths_are_distinct_entries(self, cache):
+        meta = make_meta()
+        cache.decide(meta, "flow-routing", pipeline_length=1)
+        cache.decide(meta, "flow-routing", pipeline_length=4)
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_distinct_layouts_are_distinct_entries(self, cache):
+        rr = make_meta()
+        grouped = make_meta(
+            layout=ReplicatedGroupedLayout(SERVERS, STRIP, group=16, halo_strips=1)
+        )
+        cache.decide(rr, "flow-routing")
+        cache.decide(grouped, "flow-routing")
+        assert cache.stats.misses == 2
+
+    def test_distinct_operators_are_distinct_entries(self, cache):
+        meta = make_meta()
+        cache.decide(meta, "flow-routing")
+        cache.decide(meta, "gaussian")
+        assert cache.stats.misses == 2
+
+    def test_verdict_matches_uncached_engine(self, cache, engine):
+        meta = make_meta()
+        for k in (1, 4):
+            cached = cache.decide(meta, "flow-routing", pipeline_length=k)
+            direct = engine.decide(meta, "flow-routing", pipeline_length=k)
+            assert cached.outcome == direct.outcome
+            assert cached.accept == direct.accept
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, engine):
+        cache = DecisionCache(engine, capacity=2)
+        m1 = cache.decide(make_meta(), "flow-routing", pipeline_length=1)
+        cache.decide(make_meta(), "flow-routing", pipeline_length=2)
+        cache.decide(make_meta(), "flow-routing", pipeline_length=3)  # evicts #1
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        again = cache.decide(make_meta(), "flow-routing", pipeline_length=1)
+        assert again is not m1  # recomputed after eviction
+        assert cache.stats.misses == 4
+
+    def test_hit_refreshes_recency(self, engine):
+        cache = DecisionCache(engine, capacity=2)
+        first = cache.decide(make_meta(), "flow-routing", pipeline_length=1)
+        cache.decide(make_meta(), "flow-routing", pipeline_length=2)
+        cache.decide(make_meta(), "flow-routing", pipeline_length=1)  # refresh #1
+        cache.decide(make_meta(), "flow-routing", pipeline_length=3)  # evicts #2
+        assert cache.decide(make_meta(), "flow-routing", pipeline_length=1) is first
+
+    def test_capacity_must_be_positive(self, engine):
+        with pytest.raises(ActiveStorageError):
+            DecisionCache(engine, capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_meta_drops_matching_entries(self, cache):
+        meta = make_meta()
+        cache.decide(meta, "flow-routing")
+        cache.decide(meta, "gaussian")
+        other = make_meta(n_strips=32)  # different size: survives
+        cache.decide(other, "flow-routing")
+        dropped = cache.invalidate_meta(meta)
+        assert dropped == 2
+        assert len(cache) == 1
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_with_pre_move_layout_after_in_place_swap(self, cache):
+        """Redistribution mutates FileMeta.layout in place, so the caller
+        must pass the old layout to hit the stale entries."""
+        meta = make_meta()
+        old_layout = meta.layout
+        cache.decide(meta, "flow-routing", pipeline_length=4)
+        # Simulate what Redistributor/metadata.set_layout does: swap the
+        # layout on the same record.
+        meta.layout = ReplicatedGroupedLayout(SERVERS, STRIP, group=16, halo_strips=1)
+        assert cache.invalidate_meta(meta) == 0  # new geometry: nothing cached
+        assert cache.invalidate_meta(meta, layout=old_layout) == 1
+        assert len(cache) == 0
+
+    def test_clear_empties_and_counts(self, cache):
+        cache.decide(make_meta(), "flow-routing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+
+class TestBypass:
+    def test_no_redistribution_bypasses_cache(self, cache):
+        meta = make_meta()
+        d = cache.decide(meta, "flow-routing", pipeline_length=10,
+                         allow_redistribution=False)
+        assert d.redistribute_to is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert len(cache) == 0
+
+
+class TestSignatures:
+    def test_layout_signature_separates_geometry(self):
+        rr = RoundRobinLayout(SERVERS, STRIP)
+        rr2 = RoundRobinLayout(SERVERS, STRIP)
+        grouped = ReplicatedGroupedLayout(SERVERS, STRIP, group=16, halo_strips=1)
+        assert layout_signature(rr) == layout_signature(rr2)
+        assert layout_signature(rr) != layout_signature(grouped)
+        thin = ReplicatedGroupedLayout(SERVERS, STRIP, group=16, halo_strips=2)
+        assert layout_signature(grouped) != layout_signature(thin)
+
+    def test_pattern_signature_separates_patterns(self):
+        eight = DependencePattern.eight_neighbor("a")
+        indep = DependencePattern.independent("b")
+        assert pattern_signature(eight) != pattern_signature(indep)
+
+    def test_hit_rate_property(self, cache):
+        assert cache.stats.hit_rate == 0.0
+        meta = make_meta()
+        cache.decide(meta, "flow-routing")
+        cache.decide(meta, "flow-routing")
+        assert cache.stats.hit_rate == 0.5

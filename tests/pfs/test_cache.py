@@ -37,6 +37,27 @@ class TestStripCacheUnit:
         assert cache.used_bytes <= 250
         assert ("f", 0) not in cache  # evicted first
         assert ("f", 2) in cache
+        assert cache.evictions == 1
+
+    def test_monitored_cache_mirrors_counters(self):
+        from repro.sim import Environment, MonitorHub
+
+        monitors = MonitorHub(Environment())
+        cache = StripCache(250, monitors=monitors, owner="s0")
+        cache.lookup(("f", 0))  # miss
+        cache.insert(("f", 0), 100)
+        cache.lookup(("f", 0))  # hit
+        for i in range(1, 3):
+            cache.insert(("f", i), 100)  # forces one eviction
+        assert monitors.counter("pfs.cache.hits.s0").value == cache.hits == 1
+        assert monitors.counter("pfs.cache.misses.s0").value == cache.misses == 1
+        assert monitors.counter("pfs.cache.evictions.s0").value == cache.evictions == 1
+
+    def test_monitored_cache_requires_owner(self):
+        from repro.sim import Environment, MonitorHub
+
+        with pytest.raises(PFSError):
+            StripCache(100, monitors=MonitorHub(Environment()))
 
     def test_recency_refresh_on_lookup(self):
         cache = StripCache(250)
@@ -97,10 +118,37 @@ class TestCachedDataServer:
         assert warm < cold
         # The warm read did no disk I/O at all.
         assert cluster.monitors.counter_total("pfs.cache_hit_bytes.") > 0
+        # The hit/miss tallies flow through the cluster monitors: the
+        # cold pass misses every strip, the warm pass hits them all.
+        hits = cluster.monitors.counter_total("pfs.cache.hits.")
+        misses = cluster.monitors.counter_total("pfs.cache.misses.")
+        assert hits > 0 and misses > 0
+        assert hits == misses  # same strips: one cold miss, one warm hit
 
     def test_no_speedup_without_cache(self):
         (cold, warm), cluster = self.repeated_read_times(0)
         assert warm == pytest.approx(cold, rel=0.05)
+        # A disabled cache records nothing in the monitors.
+        assert cluster.monitors.counter_total("pfs.cache.hits.") == 0
+        assert cluster.monitors.counter_total("pfs.cache.misses.") == 0
+
+    def test_eviction_counters_under_tight_budget(self):
+        """A budget far below the file size forces evictions that are
+        visible through the cluster monitors (hit ratio ~ 0 on a scan)."""
+        cluster, pfs, dem = self.build(8 * KiB)  # 2 strips of budget
+        client = pfs.client("c0")
+
+        def main():
+            yield client.read("dem", 0, dem.nbytes)
+            yield client.read("dem", 0, dem.nbytes)
+
+        cluster.run(until=cluster.env.process(main()))
+        assert cluster.monitors.counter_total("pfs.cache.evictions.") > 0
+        for name, server in pfs.servers.items():
+            assert (
+                cluster.monitors.counter(f"pfs.cache.evictions.{name}").value
+                == server.cache.evictions
+            )
 
     def test_cached_reads_still_return_correct_bytes(self):
         cluster, pfs, dem = self.build(1 * MiB)

@@ -1,0 +1,202 @@
+"""Property tests for the serving layer's core invariants.
+
+* **Conservation**: every admitted request settles in exactly one
+  terminal outcome, whatever mix of arrivals, costs, deadlines and
+  injected faults the backend throws at the scheduler.
+* **No starvation**: under DWRR with quantum-sized requests, any
+  backlogged tenant's dispatch share tracks its weight round by round;
+  no backlogged tenant waits more than one full round.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.hw import Cluster
+from repro.serve import (
+    OUTCOMES,
+    FairScheduler,
+    RetryPolicy,
+    SLOBoard,
+    ServeRequest,
+    TenantSpec,
+)
+
+QUANTUM = 1024
+
+
+class ChaosExecutor:
+    """Backend whose per-call service times and faults are scripted."""
+
+    def __init__(self, cluster, services, failures):
+        self.env = cluster.env
+        self.services = services  # list of service times, cycled
+        self.failures = failures  # list of bools, cycled
+        self.calls = 0
+
+    def request_cost(self, req):
+        return QUANTUM
+
+    def execute(self, req):
+        return self.env.process(self._run(req))
+
+    def _run(self, req):
+        i = self.calls
+        self.calls += 1
+        yield self.env.timeout(self.services[i % len(self.services)])
+        if self.failures[i % len(self.failures)]:
+            raise RuntimeError("chaos")
+        return True
+
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),   # inter-arrival gap
+        st.floats(min_value=0.05, max_value=3.0),  # relative deadline
+        st.integers(min_value=1, max_value=4 * QUANTUM),  # cost
+    ),
+    min_size=1,
+    max_size=25,
+)
+service_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1.5), min_size=1, max_size=8
+)
+failure_lists = st.lists(st.booleans(), min_size=1, max_size=8)
+
+
+@given(arrivals=arrival_lists, services=service_lists, failures=failure_lists)
+@settings(max_examples=40, deadline=None)
+def test_conservation_exactly_once(arrivals, services, failures):
+    cluster = Cluster.build(n_compute=1, n_storage=1)
+    env = cluster.env
+    executor = ChaosExecutor(cluster, services, failures)
+    board = SLOBoard(cluster.monitors)
+    sched = FairScheduler(
+        cluster,
+        (TenantSpec("t", rate=1.0),),
+        executor,
+        board,
+        queue_capacity=8,
+        concurrency=2,
+        quantum=QUANTUM,
+        retry=RetryPolicy(max_attempts=2, backoff=0.01),
+    )
+
+    def feed():
+        for i, (gap, rel_deadline, cost) in enumerate(arrivals, start=1):
+            yield env.timeout(gap)
+            sched.submit(
+                ServeRequest(
+                    req_id=i,
+                    tenant="t",
+                    operator="op",
+                    file="f",
+                    arrival=env.now,
+                    deadline=env.now + rel_deadline,
+                    cost=cost,
+                )
+            )
+
+    env.process(feed())
+    cluster.run()
+
+    stats = board.tenants["t"]
+    # Exactly-once settlement over admitted; rejected outside the set.
+    assert board.conservation_ok(), board.unsettled()
+    assert stats.settled == stats.admitted
+    assert stats.admitted + stats.rejected == len(arrivals)
+    assert sum(stats.outcomes[o] for o in OUTCOMES) == stats.admitted
+
+
+weights = st.tuples(
+    st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5)
+)
+
+
+@given(w=weights, backlog=st.integers(min_value=10, max_value=30))
+@settings(max_examples=25, deadline=None)
+def test_no_starvation_under_weighted_backlog(w, backlog):
+    """With quantum-sized requests and both tenants backlogged, every
+    round dispatches exactly weight_a : weight_b, so over any prefix the
+    normalised dispatch counts stay within one round of each other."""
+    wa, wb = w
+    cluster = Cluster.build(n_compute=1, n_storage=1)
+    executor = ChaosExecutor(cluster, [0.001], [False])
+    board = SLOBoard(cluster.monitors)
+    sched = FairScheduler(
+        cluster,
+        (TenantSpec("a", rate=1.0, weight=wa), TenantSpec("b", rate=1.0, weight=wb)),
+        executor,
+        board,
+        queue_capacity=64,
+        concurrency=1,
+        quantum=QUANTUM,
+    )
+    rid = 0
+    for _ in range(backlog):
+        rid += 1
+        sched.submit(_req(rid, "a"))
+    for _ in range(backlog):
+        rid += 1
+        sched.submit(_req(rid, "b"))
+    cluster.run()
+
+    assert board.conservation_ok()
+    log = [name for name, _ in sched.dispatch_log]
+    assert len(log) == 2 * backlog
+    # Both tenants' first dispatches land within the first round.
+    assert "a" in log[: wa + wb]
+    assert "b" in log[: wa + wb]
+    # While both are backlogged, normalised shares diverge by at most
+    # one round's grant.
+    joint_rounds = min(backlog // wa, backlog // wb)
+    horizon = joint_rounds * (wa + wb)
+    ca = cb = 0
+    for name in log[:horizon]:
+        if name == "a":
+            ca += 1
+        else:
+            cb += 1
+        assert abs(ca / wa - cb / wb) <= 2.0, (ca, cb, wa, wb)
+
+
+def _req(req_id, tenant):
+    return ServeRequest(
+        req_id=req_id,
+        tenant=tenant,
+        operator="op",
+        file="f",
+        arrival=0.0,
+        deadline=1000.0,
+        cost=QUANTUM,
+    )
+
+
+def test_serve_error_is_not_retried():
+    """Accounting bugs (ServeError) must propagate, never be retried."""
+    cluster = Cluster.build(n_compute=1, n_storage=1)
+    env = cluster.env
+
+    class PoisonExecutor:
+        def request_cost(self, req):
+            return QUANTUM
+
+        def execute(self, req):
+            return env.process(self._run())
+
+        def _run(self):
+            yield env.timeout(0.01)
+            raise ServeError("ledger corruption")
+
+    board = SLOBoard(cluster.monitors)
+    sched = FairScheduler(
+        cluster, (TenantSpec("t", rate=1.0),), PoisonExecutor(), board
+    )
+    sched.submit(_req(1, "t"))
+    try:
+        cluster.run()
+        raised = False
+    except ServeError:
+        raised = True
+    assert raised
+    assert board.tenants["t"].retries == 0
