@@ -32,7 +32,7 @@ from ..kernels.base import KernelRegistry, default_registry
 from ..kernels.reductions import ReductionRegistry, default_reductions
 from ..kernels.stencil import Window, window_bounds
 from ..net.message import Message
-from ..pfs.dataserver import ReadPiece, WritePiece, request_wire_size
+from ..pfs.dataserver import ReadPiece, WritePiece, accounted_wire_size
 from ..pfs.dataserver import TAG_PFS
 from ..pfs.datafile import FileMeta
 from ..pfs.filesystem import ParallelFileSystem
@@ -68,6 +68,7 @@ class ASServer:
         self.node = self.ds.node
         self.env = self.node.env
         self.transport = pfs.cluster.transport
+        self.monitors = pfs.cluster.monitors
         self.registry = registry or default_registry
         self.reductions: ReductionRegistry = default_reductions
         self.halo_granularity = halo_granularity
@@ -88,6 +89,10 @@ class ASServer:
         req = msg.payload
         op = req.get("op")
         if op == "exec":
+            batched = int(req.get("batch", 1))
+            if batched > 1:
+                # One exec pass is about to serve `batched` requests.
+                self.monitors.counter("as.exec.amortised_requests").add(batched - 1)
             stats = yield self.execute(
                 req["kernel"],
                 req["file"],
@@ -263,7 +268,9 @@ class ASServer:
             jobs.append(self.env.process(self._remote_job(meta, owner, strips, out, stats)))
         for job in jobs:
             yield job
-        stats.halo_bytes_local += sum(p.length for p in local_pieces)
+        local_bytes = sum(p.length for p in local_pieces)
+        stats.halo_bytes_local += local_bytes
+        self.monitors.counter("as.halo_bytes_local").add(local_bytes)
         return out
 
     def _local_job(self, file: str, pieces: List[ReadPiece], spans, out: np.ndarray):
@@ -292,11 +299,12 @@ class ASServer:
             self.name,
             owner,
             {"op": "read", "file": meta.name, "pieces": pieces},
-            request_wire_size(len(pieces)),
+            accounted_wire_size(self.monitors, len(pieces)),
             tag=TAG_PFS,
         )
         data = reply.payload
         stats.halo_bytes_remote += int(data.nbytes)
+        self.monitors.counter("as.halo_bytes_remote").add(int(data.nbytes))
 
         cursor = 0
         for piece in pieces:
@@ -349,7 +357,7 @@ class ASServer:
                     self.name,
                     server,
                     {"op": "write", "file": out_meta.name, "pieces": pieces},
-                    request_wire_size(len(pieces)) + payload_bytes,
+                    accounted_wire_size(self.monitors, len(pieces)) + payload_bytes,
                     tag=TAG_PFS,
                 )
             )

@@ -22,11 +22,13 @@ from .as_server import ASServer
 from .decision import DecisionEngine, OffloadDecision
 from .features import KernelFeatures
 from .request import (
+    EXEC_ITEM_BYTES,
     EXEC_REQUEST_BYTES,
     TAG_AS,
     ActiveRequest,
     ActiveResult,
     ServerExecStats,
+    exec_request_wire_size,
 )
 
 
@@ -108,32 +110,70 @@ class ActiveStorageClient:
             name=f"as-exec-all:{request.operator}",
         )
 
+    def execute_offload_batch(
+        self, requests, decision: OffloadDecision
+    ):
+        """Process: ONE offload fan-out serving every request of a batch.
+
+        All requests must agree on (file, operator, pipeline) — they ask
+        for the same computation over the same bytes.  Per storage server
+        a single exec RPC goes out whose header is paid once
+        (``EXEC_REQUEST_BYTES``) with one ``EXEC_ITEM_BYTES`` descriptor
+        per extra member; halo assembly, strip-cache traffic and the
+        kernel pass happen once.  Value is the shared
+        :class:`ActiveResult` (lead request's output file)."""
+        requests = list(requests)
+        if not requests:
+            raise ActiveStorageError("empty offload batch")
+        lead = requests[0]
+        for member in requests[1:]:
+            if (member.file, member.operator) != (lead.file, lead.operator):
+                raise ActiveStorageError(
+                    "offload batch mixes (file, kernel) keys:"
+                    f" {(member.file, member.operator)}"
+                    f" != {(lead.file, lead.operator)}"
+                )
+        return self.env.process(
+            self._execute(lead, decision, self.env.now, 0, batch=len(requests)),
+            name=f"as-exec-batch:{lead.operator}x{len(requests)}",
+        )
+
     def _execute(
         self,
         request: ActiveRequest,
         decision: OffloadDecision,
         started: float,
         redistribution_bytes: int,
+        batch: int = 1,
     ):
         meta = self.pfs.metadata.lookup(request.file)
         self._register_output(request, meta)
 
-        calls = [
-            self.transport.call(
-                self.home,
-                server,
-                {
-                    "op": "exec",
-                    "kernel": request.operator,
-                    "file": request.file,
-                    "output": request.output,
-                    "replicate_output": request.replicate_output,
-                },
-                EXEC_REQUEST_BYTES,
-                tag=TAG_AS,
+        monitors = self.cluster.monitors
+        wire = exec_request_wire_size(batch)
+        calls = []
+        for server in self.pfs.server_names:
+            monitors.counter("as.rpc.header_bytes").add(EXEC_REQUEST_BYTES)
+            if batch > 1:
+                monitors.counter("as.rpc.item_bytes").add(
+                    EXEC_ITEM_BYTES * (batch - 1)
+                )
+            calls.append(
+                self.transport.call(
+                    self.home,
+                    server,
+                    {
+                        "op": "exec",
+                        "kernel": request.operator,
+                        "file": request.file,
+                        "output": request.output,
+                        "replicate_output": request.replicate_output,
+                        "batch": batch,
+                    },
+                    wire,
+                    tag=TAG_AS,
+                )
             )
-            for server in self.pfs.server_names
-        ]
         per_server: Dict[str, ServerExecStats] = {}
         for call in calls:
             reply = yield call

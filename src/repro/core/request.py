@@ -14,6 +14,15 @@ TAG_AS = "as"
 EXEC_REQUEST_BYTES = 256
 EXEC_REPLY_BYTES = 256
 
+#: Per-member descriptor appended to a *batched* exec request: the
+#: header is paid once per message, each extra rider adds only this.
+EXEC_ITEM_BYTES = 32
+
+
+def exec_request_wire_size(batch: int) -> int:
+    """On-wire size of an exec request carrying ``batch`` merged requests."""
+    return EXEC_REQUEST_BYTES + EXEC_ITEM_BYTES * (max(1, batch) - 1)
+
 
 @dataclass(frozen=True)
 class ActiveRequest:

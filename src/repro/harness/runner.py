@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from ..units import KiB
@@ -48,6 +49,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also save each report as DIR/<experiment>.json and .csv",
     )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write the machine-readable perf trajectory"
+            " (BENCH_serve.json / BENCH_paper.json) under DIR"
+        ),
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve-bench only: merge up to N same-(file, kernel) requests"
+            " into one fan-out (1 disables batching; default: bench default)"
+        ),
+    )
     return parser
 
 
@@ -55,10 +75,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0
+    timed = []
     for name in names:
-        report = run_experiment(
-            name, scale=args.scale_kb * KiB, verify=not args.no_verify
-        )
+        kwargs = dict(scale=args.scale_kb * KiB, verify=not args.no_verify)
+        if name == "serve-bench" and args.batch_max is not None:
+            kwargs["batch_max"] = args.batch_max
+        begin = time.perf_counter()
+        report = run_experiment(name, **kwargs)
+        timed.append((report, time.perf_counter() - begin))
         print(report.to_text())
         print()
         if args.output_dir:
@@ -71,6 +95,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 save_report(report, base / f"{name}{suffix}")
         if not report.all_checks_pass:
             failures += 1
+    if args.bench_dir:
+        from .trajectory import write_trajectory
+
+        for path in write_trajectory(args.bench_dir, timed, args.scale_kb):
+            print(f"wrote {path}", file=sys.stderr)
     if failures:
         print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
         return 1

@@ -15,6 +15,13 @@ inter-server halo traffic and request-serving CPU on round-robin data,
 warm DAS finds its halo local — are the same forces as in the one-shot
 experiments, now compounding under queueing.
 
+Batching cells: the DAS sweep is doubled with ``batch_max > 1`` cells
+(same workload, same seed) plus extended loads, so the report shows the
+amortisation directly — fewer request-header bytes and fewer halo bytes
+per completed request at equal offered load, and a strictly higher
+sustained operating point — while the result digests prove batch-on
+outputs are bit-identical to batch-off.
+
 Every cell is bit-identically reproducible from the root seed; with
 ``verify=True`` the bench replays one cell and asserts the summaries
 are equal.
@@ -38,6 +45,13 @@ SERVE_SCHEMES = ("TS", "NAS", "DAS")
 
 #: Offered-load multipliers swept (1.0 = BASE_RATE aggregate arrivals).
 DEFAULT_LOADS = (0.5, 1.0, 2.0, 4.0)
+
+#: Batch window of the batch-on DAS cells (requests per fan-out).
+DEFAULT_BATCH_MAX = 8
+
+#: Extra loads swept for the DAS batch-on/off comparison: past the
+#: unbatched breaking point, so the raised operating point is visible.
+BATCH_EXTRA_LOADS = (8.0,)
 
 #: Aggregate request arrival rate at load 1.0 (requests / simulated s).
 BASE_RATE = 10.0
@@ -103,6 +117,7 @@ def serve_cell(
     duration: float = DURATION,
     deadline: float = DEADLINE,
     platform: Optional[ExperimentPlatform] = None,
+    batch_max: int = 1,
 ) -> Dict[str, object]:
     """One serving run: fresh platform, warm ingest, full summary dict."""
     platform = platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
@@ -118,15 +133,19 @@ def serve_cell(
         load=load,
         concurrency=8,
         queue_capacity=12,
+        batch_max=batch_max,
     )
     return ServeSystem(pfs, config).run()
 
 
 def _row(summary: Dict[str, object]) -> dict:
     t = summary["tenants"]["_all"]  # type: ignore[index]
+    batch = summary["batch"]  # type: ignore[index]
+    wire = summary["bytes"]  # type: ignore[index]
     return {
         "scheme": summary["scheme"],
         "load": summary["load"],
+        "batch": batch["max"],
         "offered_rps": BASE_RATE * float(summary["load"]),  # type: ignore[arg-type]
         "generated": summary["generated"],
         "rejected": t["rejected"],
@@ -138,16 +157,22 @@ def _row(summary: Dict[str, object]) -> dict:
         "p50_s": round(t["lat_p50"], 4),
         "p95_s": round(t["lat_p95"], 4),
         "p99_s": round(t["lat_p99"], 4),
+        "hdr_bytes": wire["request_header"],
+        "halo_bytes": wire["halo_local"] + wire["halo_remote"],
+        "batch_hit_rate": round(batch["hit_rate"], 4),
     }
 
 
-def _sustained(rows: Sequence[dict], scheme: str, deadline: float) -> float:
+def _sustained(
+    rows: Sequence[dict], scheme: str, deadline: float, batch: int = 1
+) -> float:
     """Highest swept load at which the scheme's p99 meets the deadline
     with nothing shed (0.0 when even the lowest load misses)."""
     ok = [
         r["load"]
         for r in rows
         if r["scheme"] == scheme
+        and r["batch"] == batch
         and r["p99_s"] <= deadline
         and r["rejected"] == 0
         and r["expired"] == 0
@@ -161,24 +186,38 @@ def serve_bench(
     verify=True,
     loads: Sequence[float] = DEFAULT_LOADS,
     schemes: Sequence[str] = SERVE_SCHEMES,
+    batch_max: int = DEFAULT_BATCH_MAX,
 ) -> ExperimentReport:
     """The serving-layer sweep (registered as ``serve-bench``).
 
     ``scale`` follows the harness convention of "simulated bytes per
     paper GB" and maps onto the offered-load *duration*: the default
     1 MiB gives :data:`DURATION` seconds per cell; smaller scales
-    shorten the run proportionally (floor 1.5 s).
+    shorten the run proportionally (floor 1.5 s).  With
+    ``batch_max > 1`` (the default) and DAS in ``schemes``, the DAS
+    loads are re-swept with batching on — plus :data:`BATCH_EXTRA_LOADS`
+    both ways — for the amortisation comparison; ``batch_max=1``
+    reproduces the plain three-scheme sweep.
     """
     duration = DURATION
     if scale is not None:
         duration = max(1.5, DURATION * float(scale) / (1024 * KiB))
+    batching = batch_max > 1 and "DAS" in schemes
+    # Cells are (scheme, load, batch_max) triples.
+    cells: list = [(scheme, load, 1) for scheme in schemes for load in loads]
+    das_loads: Tuple[float, ...] = tuple(loads)
+    if batching:
+        das_loads += tuple(l for l in BATCH_EXTRA_LOADS if l not in loads)
+        cells += [("DAS", l, 1) for l in das_loads if l not in loads]
+        cells += [("DAS", l, batch_max) for l in das_loads]
     rows = []
-    summaries: Dict[Tuple[str, float], Dict[str, object]] = {}
-    for scheme in schemes:
-        for load in loads:
-            summary = serve_cell(scheme, load, duration=duration, platform=platform)
-            summaries[(scheme, load)] = summary
-            rows.append(_row(summary))
+    summaries: Dict[Tuple[str, float, int], Dict[str, object]] = {}
+    for scheme, load, batch in cells:
+        summary = serve_cell(
+            scheme, load, duration=duration, platform=platform, batch_max=batch
+        )
+        summaries[(scheme, load, batch)] = summary
+        rows.append(_row(summary))
 
     checks = []
     # The overload comparisons need queues time to build: at reduced
@@ -207,7 +246,7 @@ def serve_bench(
         )
     if "DAS" in schemes:
         cache_stats = [
-            s["decision_cache"] for (sch, _), s in summaries.items() if sch == "DAS"
+            s["decision_cache"] for (sch, _, _), s in summaries.items() if sch == "DAS"
         ]
         checks.append(
             (
@@ -216,6 +255,62 @@ def serve_bench(
                 all(c["hits"] > c["misses"] for c in cache_stats),  # type: ignore[index]
             )
         )
+    if batching:
+        top = max(das_loads)
+        on = summaries[("DAS", top, batch_max)]
+        off = summaries[("DAS", top, 1)]
+        hdr = lambda s: s["bytes"]["request_header"]  # type: ignore[index]
+
+        def halo_per_completed(s):
+            done = max(1, s["tenants"]["_all"]["completed"])  # type: ignore[index]
+            return (s["bytes"]["halo_local"] + s["bytes"]["halo_remote"]) / done  # type: ignore[index]
+
+        checks.append(
+            (
+                f"batching amortises RPC headers: fewer request-header bytes"
+                f" at load x{top:g} ({hdr(on)} vs {hdr(off)})",
+                hdr(on) < hdr(off),
+            )
+        )
+        checks.append(
+            (
+                "batching amortises halo assembly: fewer halo bytes per"
+                f" completed request at load x{top:g}"
+                f" ({halo_per_completed(on):.0f} vs {halo_per_completed(off):.0f})",
+                halo_per_completed(on) < halo_per_completed(off),
+            )
+        )
+        hot = [
+            s["batch"]["hit_rate"]  # type: ignore[index]
+            for (sch, l, b), s in summaries.items()
+            if b > 1 and l >= 2.0
+        ]
+        checks.append(
+            (
+                "batching engages under load: duplicate-key dispatches share"
+                " fan-outs (hit rate > 0 at loads >= x2)",
+                bool(hot) and any(rate > 0 for rate in hot),
+            )
+        )
+        low = min(das_loads)
+        checks.append(
+            (
+                f"batch on/off bit-identical outputs at load x{low:g}"
+                " (per-request result CRCs agree)",
+                summaries[("DAS", low, batch_max)]["result_digest"]
+                == summaries[("DAS", low, 1)]["result_digest"],
+            )
+        )
+        if full_length:
+            sus_on = _sustained(rows, "DAS", DEADLINE, batch=batch_max)
+            sus_off = _sustained(rows, "DAS", DEADLINE, batch=1)
+            checks.append(
+                (
+                    "batched DAS sustains a strictly higher load before p99"
+                    f" breaks the deadline (x{sus_on:g} vs x{sus_off:g})",
+                    sus_on > sus_off,
+                )
+            )
     checks.append(
         (
             "conservation: every admitted request settled exactly once"
@@ -230,7 +325,7 @@ def serve_bench(
             (
                 f"bit-identical replay: {scheme0} at load x{load0:g} reproduces"
                 " the same summary from the same seed",
-                replay == summaries[(scheme0, load0)],
+                replay == summaries[(scheme0, load0, 1)],
             )
         )
 
@@ -243,6 +338,12 @@ def serve_bench(
             f"{SERVE_NODES} nodes (half storage), {RASTER[0]}x{RASTER[1]} rasters,"
             f" 3 tenants (weights 3:2:1) offering {BASE_RATE:g} req/s at load 1.0"
             f" for {duration:g}s; deadline {DEADLINE:g}s, throttled serving platform."
+            + (
+                f" DAS re-swept with batch_max={batch_max}"
+                " (same-(file, kernel) requests share one fan-out)."
+                if batching
+                else ""
+            )
             + (
                 ""
                 if full_length

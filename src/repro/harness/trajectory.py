@@ -1,0 +1,104 @@
+"""Machine-readable perf trajectory: ``BENCH_serve.json`` / ``BENCH_paper.json``.
+
+Every harness invocation can record what it measured into a stable JSON
+shape — per-row simulated makespans and bytes per link class, wall-clock
+seconds per experiment, batch hit rates, the shape-check verdicts — so a
+future change can diff its numbers against a checked-in baseline instead
+of re-deriving them from logs.
+
+The serve-bench goes to :data:`SERVE_BENCH_FILE`; the paper regenerators
+(table1, fig10–14, ext-oversub) are folded into :data:`PAPER_BENCH_FILE`.
+Baselines live under ``benchmarks/`` in the repo; CI regenerates the
+serve file at reduced scale and uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .experiments import ExperimentReport
+
+SERVE_BENCH_FILE = "BENCH_serve.json"
+PAPER_BENCH_FILE = "BENCH_paper.json"
+
+#: Experiments recorded into BENCH_paper.json.
+PAPER_EXPERIMENTS = (
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ext-oversub",
+)
+
+#: Bump when the payload shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: A report paired with the wall-clock seconds it took to produce.
+TimedReport = Tuple[ExperimentReport, float]
+
+
+def trajectory_payload(
+    bench: str, scale_kb: int, entries: Iterable[TimedReport]
+) -> dict:
+    """The JSON document for one BENCH file.
+
+    Rows are embedded verbatim: paper rows carry the simulated makespan
+    (``time_s``) and bytes per link class (``client_MB``/``server_MB``);
+    serve rows carry the latency tail, header/halo wire bytes and the
+    batch hit rate.
+    """
+    entries = list(entries)
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "scale_kb": scale_kb,
+        "wall_seconds_total": round(sum(w for _, w in entries), 3),
+        "experiments": {
+            report.experiment: {
+                "title": report.title,
+                "wall_seconds": round(wall, 3),
+                "all_checks_pass": report.all_checks_pass,
+                "checks": [
+                    {"claim": claim, "passed": ok} for claim, ok in report.checks
+                ],
+                "notes": report.notes,
+                "rows": report.rows,
+            }
+            for report, wall in entries
+        },
+    }
+
+
+def write_trajectory(
+    out_dir, entries: Iterable[TimedReport], scale_kb: int
+) -> List[Path]:
+    """Split timed reports into the BENCH files they belong to and write
+    them under ``out_dir``; returns the paths written (serve first)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    entries = list(entries)
+    groups = (
+        (
+            SERVE_BENCH_FILE,
+            "serve",
+            [(r, w) for r, w in entries if r.experiment == "serve-bench"],
+        ),
+        (
+            PAPER_BENCH_FILE,
+            "paper",
+            [(r, w) for r, w in entries if r.experiment in PAPER_EXPERIMENTS],
+        ),
+    )
+    written: List[Path] = []
+    for filename, bench, group in groups:
+        if not group:
+            continue
+        path = out_dir / filename
+        payload = trajectory_payload(bench, scale_kb, group)
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        written.append(path)
+    return written

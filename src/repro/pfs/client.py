@@ -22,7 +22,7 @@ from .dataserver import (
     DataServer,
     ReadPiece,
     WritePiece,
-    request_wire_size,
+    accounted_wire_size,
 )
 from .datafile import FileMeta
 from .layout import Layout, StripExtent
@@ -159,7 +159,7 @@ class PFSClient:
                     self.home,
                     server,
                     {"op": "read", "file": name, "pieces": pieces},
-                    request_wire_size(len(pieces)),
+                    accounted_wire_size(self.cluster.monitors, len(pieces)),
                     tag=TAG_PFS,
                 ),
             )
@@ -260,7 +260,8 @@ class PFSClient:
                     self.home,
                     server,
                     {"op": "write", "file": name, "pieces": pieces},
-                    request_wire_size(len(pieces)) + payload_bytes,
+                    accounted_wire_size(self.cluster.monitors, len(pieces))
+                    + payload_bytes,
                     tag=TAG_PFS,
                 )
             )

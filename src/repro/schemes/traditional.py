@@ -54,7 +54,12 @@ class TraditionalScheme(Scheme):
         compute_nodes = self.cluster.compute_nodes
         if not compute_nodes:
             raise ActiveStorageError("TS requires at least one compute node")
-        self._client_results = {}
+        # Results go to a per-serve dict so concurrent serves (the
+        # serving layer's normal path) don't clobber each other; the
+        # caller may supply its own sink to read them back.
+        results: Dict[str, tuple] = options.get("results_sink", {})
+        results.clear()
+        self._client_results = results
 
         write_back = bool(options.get("write_back", self.write_back))
         if write_back and not self.pfs.metadata.exists(output_file):
@@ -91,6 +96,7 @@ class TraditionalScheme(Scheme):
                         ra,
                         width,
                         write_back,
+                        results,
                     ),
                     name=f"ts-worker:{node.name}",
                 )
@@ -119,7 +125,18 @@ class TraditionalScheme(Scheme):
         return shares
 
     def _worker(
-        self, node, kernel, meta, output_file, first, count, rb, ra, width, write_back
+        self,
+        node,
+        kernel,
+        meta,
+        output_file,
+        first,
+        count,
+        rb,
+        ra,
+        width,
+        write_back,
+        results,
     ):
         client = self.pfs.client(node.name)
         win_lo, win_hi = window_bounds(first, count, rb, ra, meta.n_elements)
@@ -138,7 +155,7 @@ class TraditionalScheme(Scheme):
         )
         yield node.cpu.run_kernel(kernel.name, count)
         out = kernel.apply_window(window)
-        self._client_results[node.name] = (first, out)
+        results[node.name] = (first, out)
         if write_back:
             yield client.write_elems(output_file, first, out)
         return None

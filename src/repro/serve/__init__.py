@@ -9,6 +9,7 @@ a decision cache), and an SLO board accounts every admitted request
 into exactly one terminal outcome with per-tenant tail latencies.
 """
 
+from .batch import BatchStats, batch_key, merge_window
 from .dispatch import SCHEMES, LoadAwareExecutor
 from .scheduler import FairScheduler, RetryPolicy
 from .service import ServeConfig, ServeSystem
@@ -21,6 +22,7 @@ __all__ = [
     "FAILED",
     "LATE",
     "OUTCOMES",
+    "BatchStats",
     "FairScheduler",
     "LoadAwareExecutor",
     "OpenLoopWorkload",
@@ -32,4 +34,6 @@ __all__ = [
     "ServeSystem",
     "TenantSpec",
     "TenantStats",
+    "batch_key",
+    "merge_window",
 ]

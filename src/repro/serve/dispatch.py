@@ -21,14 +21,26 @@ the file's lock, re-consults the engine on fresh metadata (another
 request may have redistributed first), moves the data, and invalidates
 the decision cache for the stale geometry.
 
+Batched dispatch (scheduler ``batch_max > 1``) lands here as
+:meth:`LoadAwareExecutor.execute_batch`: one backend pass — one
+DecisionCache verdict per batch key, one offload fan-out or one
+client-side compute — serves every member, while the in-flight load
+signal still counts each *underlying request* so the diversion bias
+sees true depth, not fan-out count.
+
 Output files are unique per request (``<file>.out.<req_id>``) and are
 dropped — metadata and strips — as soon as the request settles, so a
 long serving run's footprint stays bounded by the in-flight window.
+Every produced output is CRC'd into :attr:`LoadAwareExecutor.digests`
+before the drop, so runs can prove batched and unbatched execution
+yield bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..core.das_client import ActiveStorageClient
 from ..core.decision import DecisionEngine, OffloadDecision
@@ -40,6 +52,7 @@ from ..pfs.filesystem import ParallelFileSystem
 from ..schemes.nas import NormalActiveStorageScheme
 from ..schemes.traditional import TraditionalScheme
 from ..sim.resources import Resource
+from .batch import batch_key, combine_digests, digest_bytes
 from .workload import ServeRequest
 
 #: Backends the serving layer can drive.
@@ -85,12 +98,15 @@ class LoadAwareExecutor:
             )
 
         #: In-flight request count per partition; the load signal.
+        #: Batched fan-outs count every underlying request, not one.
         self._inflight: Dict[str, int] = {"offload": 0, "normal": 0}
         self._gauges = {
             path: self.monitors.gauge(f"serve.inflight.{path}")
             for path in self._inflight
         }
         self._file_locks: Dict[str, Resource] = {}
+        #: req_id -> CRC-32 of the request's produced output bytes.
+        self.digests: Dict[int, int] = {}
 
     def _home(self) -> str:
         names = self.cluster.compute_names
@@ -103,84 +119,143 @@ class LoadAwareExecutor:
 
     def execute(self, req: ServeRequest):
         """Process: run ``req`` end to end; value is a result dict."""
-        return self.env.process(self._execute(req), name=f"serve-exec:{req.req_id}")
+        return self.env.process(self._execute([req]), name=f"serve-exec:{req.req_id}")
+
+    def execute_batch(self, batch: List[ServeRequest]):
+        """Process: serve every request of ``batch`` — all sharing one
+        ``(file, kernel, params)`` key — with a single backend pass."""
+        leader = batch[0]
+        key = batch_key(leader)
+        for member in batch[1:]:
+            if batch_key(member) != key:
+                raise ServeError(
+                    f"batch mixes keys: {batch_key(member)} != {key}"
+                )
+        return self.env.process(
+            self._execute(list(batch)),
+            name=f"serve-exec:{leader.req_id}x{len(batch)}",
+        )
 
     # -- execution ------------------------------------------------------------
-    def _execute(self, req: ServeRequest):
+    def _execute(self, batch: List[ServeRequest]):
         if self.scheme == "TS":
-            result = yield from self._run_normal(req)
+            result = yield from self._run_normal(batch)
         elif self.scheme == "NAS":
-            result = yield from self._run_nas(req)
+            result = yield from self._run_nas(batch)
         else:
-            result = yield from self._run_das(req)
+            result = yield from self._run_das(batch)
         return result
 
-    def _enter(self, path: str) -> None:
-        self._inflight[path] += 1
-        self._gauges[path].adjust(+1)
+    def _enter(self, path: str, n: int = 1) -> None:
+        self._inflight[path] += n
+        self._gauges[path].adjust(+n)
 
-    def _exit(self, path: str) -> None:
-        self._inflight[path] -= 1
-        self._gauges[path].adjust(-1)
+    def _exit(self, path: str, n: int = 1) -> None:
+        self._inflight[path] -= n
+        self._gauges[path].adjust(-n)
 
-    def _run_normal(self, req: ServeRequest):
+    def _run_normal(self, batch: List[ServeRequest]):
         """Client-side compute (the TS path; also the DAS fallback)."""
-        self._enter("normal")
-        self.monitors.counter("serve.path.normal").add()
+        leader = batch[0]
+        n = len(batch)
+        self._enter("normal", n)
+        self.monitors.counter("serve.path.normal").add(n)
+        sink: Dict[str, tuple] = {}
         try:
             yield self.env.process(
-                self._ts._serve(req.operator, req.file, req.output, {})
+                self._ts._serve(
+                    leader.operator, leader.file, leader.output,
+                    {"results_sink": sink},
+                )
             )
+            self._record_client_digest(batch, sink)
         finally:
-            self._exit("normal")
-        return {"path": "normal"}
+            self._exit("normal", n)
+        return {"path": "normal", "batched": n}
 
-    def _run_nas(self, req: ServeRequest):
+    def _run_nas(self, batch: List[ServeRequest]):
         """Unconditional offload on the current (round-robin) layout."""
         assert self._nas is not None
-        self._enter("offload")
-        self.monitors.counter("serve.path.offload").add()
+        leader = batch[0]
+        n = len(batch)
+        self._enter("offload", n)
+        self.monitors.counter("serve.path.offload").add(n)
         try:
             yield self.env.process(
-                self._nas._serve(req.operator, req.file, req.output, {})
+                self._nas._serve(leader.operator, leader.file, leader.output, {})
             )
+            self._record_output_digest(batch, leader.output)
         finally:
-            self._exit("offload")
-            self._drop_output(req.output)
-        return {"path": "offload"}
+            self._exit("offload", n)
+            self._drop_output(leader.output)
+        return {"path": "offload", "batched": n}
 
     # -- the DAS serving path ------------------------------------------------
-    def _run_das(self, req: ServeRequest):
+    def _run_das(self, batch: List[ServeRequest]):
         assert self.client is not None and self.cache is not None
-        meta = self.pfs.metadata.lookup(req.file)
+        leader = batch[0]
+        n = len(batch)
+        meta = self.pfs.metadata.lookup(leader.file)
+        # One Fig. 3 consult per batch key, not per member.
         decision = self.cache.decide(
-            meta, req.operator, pipeline_length=req.pipeline_length
+            meta, leader.operator, pipeline_length=leader.pipeline_length
         )
         offload = decision.accept and self._prefer_offload(decision)
         if decision.accept and not offload:
-            self.monitors.counter("serve.diverted").add()
+            self.monitors.counter("serve.diverted").add(n)
         if offload and decision.redistribute_to is not None:
-            decision = yield from self._ensure_layout(req)
+            decision = yield from self._ensure_layout(leader)
             offload = decision.accept
         if not offload:
-            result = yield from self._run_normal(req)
+            result = yield from self._run_normal(batch)
             result["decision"] = decision.outcome
             return result
 
-        self._enter("offload")
-        self.monitors.counter("serve.path.offload").add()
+        self._enter("offload", n)
+        self.monitors.counter("serve.path.offload").add(n)
         try:
-            request = ActiveRequest(
-                operator=req.operator,
-                file=req.file,
-                output=req.output,
-                pipeline_length=req.pipeline_length,
-            )
-            yield self.client.execute_offload(request, decision)
+            requests = [
+                ActiveRequest(
+                    operator=member.operator,
+                    file=member.file,
+                    output=member.output,
+                    pipeline_length=member.pipeline_length,
+                )
+                for member in batch
+            ]
+            yield self.client.execute_offload_batch(requests, decision)
+            self._record_output_digest(batch, leader.output)
         finally:
-            self._exit("offload")
-            self._drop_output(req.output)
-        return {"path": "offload", "decision": decision.outcome}
+            self._exit("offload", n)
+            self._drop_output(leader.output)
+        return {"path": "offload", "decision": decision.outcome, "batched": n}
+
+    # -- result digests -------------------------------------------------------
+    def _record_output_digest(self, batch: List[ServeRequest], output: str) -> None:
+        """CRC the produced output (instant verification read) and credit
+        it to every member — one execution, N identical results."""
+        data = self.pfs.client(self._home()).collect(output)
+        digest = digest_bytes(np.ascontiguousarray(data))
+        for member in batch:
+            self.digests[member.req_id] = digest
+
+    def _record_client_digest(self, batch: List[ServeRequest], sink) -> None:
+        """CRC the client-resident results of a normal-path run (results
+        never hit the PFS; concatenate the workers' shares in file order)."""
+        shares = sorted(sink.values(), key=lambda item: item[0])
+        buf = b"".join(
+            np.ascontiguousarray(arr).tobytes() for _, arr in shares
+        )
+        digest = digest_bytes(buf)
+        for member in batch:
+            self.digests[member.req_id] = digest
+
+    def result_digest(self) -> Dict[str, int]:
+        """Order-independent roll-up of every request's output CRC."""
+        return {
+            "count": len(self.digests),
+            "crc": combine_digests(self.digests.items()),
+        }
 
     def _prefer_offload(self, decision: OffloadDecision) -> bool:
         """Compare predicted costs inflated by current partition depth."""

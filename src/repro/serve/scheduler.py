@@ -17,9 +17,16 @@ backend:
   deadline is counted as ``late``.
 * **Retries**: executor failures are retried with exponential backoff
   up to a bounded attempt budget, then settled as ``failed``.
+* **Batching** (``batch_max > 1``): when a slot opens for a leader
+  request, the dispatcher drains up to ``batch_max - 1`` further queued
+  requests sharing the leader's ``(file, kernel, params)`` key — across
+  tenants — and issues ONE executor fan-out for the whole batch.  Every
+  member's cost is charged to its *own* tenant's deficit, which may go
+  negative: a rider prepays byte-debt that later quantum grants repay,
+  so DWRR byte-fairness holds across batched dispatches.
 
 The dispatcher applies backpressure by holding one concurrency slot per
-in-flight request: queue depth builds (and admission sheds) exactly
+in-flight fan-out: queue depth builds (and admission sheds) exactly
 when the backend saturates.
 """
 
@@ -27,11 +34,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError, ServeError
 from ..hw.cluster import Cluster
 from ..sim.resources import Resource
+from .batch import BatchStats, merge_window, scatter_result
 from .slo import COMPLETED, EXPIRED, FAILED, LATE, SLOBoard
 from .workload import ServeRequest, TenantSpec
 
@@ -68,15 +76,24 @@ class FairScheduler:
         concurrency: int = 4,
         quantum: int = 256 * 1024,
         retry: Optional[RetryPolicy] = None,
+        batch_max: int = 1,
     ):
         if queue_capacity < 1 or concurrency < 1 or quantum < 1:
             raise ServeError("queue_capacity, concurrency and quantum must be >= 1")
+        if batch_max < 1:
+            raise ServeError(f"batch_max must be >= 1, got {batch_max!r}")
+        if batch_max > 1 and not callable(getattr(executor, "execute_batch", None)):
+            raise ServeError(
+                "batch_max > 1 needs an executor with execute_batch(batch)"
+            )
         self.cluster = cluster
         self.env = cluster.env
         self.executor = executor
         self.board = board
         self.queue_capacity = int(queue_capacity)
         self.quantum = int(quantum)
+        self.batch_max = int(batch_max)
+        self.batch_stats = BatchStats()
         self.retry = retry or RetryPolicy()
         self.weights: Dict[str, float] = {t.name: t.weight for t in tenants}
         self.queues: Dict[str, Deque[ServeRequest]] = {
@@ -143,37 +160,70 @@ class FairScheduler:
                         slot.cancel()
                         self.board.settle(req, EXPIRED)
                         continue
-                    self.dispatch_log.append((req.tenant, req.req_id))
+                    batch = [req]
+                    if self.batch_max > 1:
+                        batch += self._drain_riders(req)
+                    self.batch_stats.dispatches += 1
+                    self.batch_stats.requests += len(batch)
+                    self.batch_stats.merged += len(batch) - 1
+                    for member in batch:
+                        self.dispatch_log.append((member.tenant, member.req_id))
                     self.env.process(
-                        self._attempt(req, slot), name=f"serve-req:{req.req_id}"
+                        self._attempt(batch, slot), name=f"serve-req:{req.req_id}"
                     )
                 if not queue:
-                    # Classic DWRR: an emptied queue forfeits its deficit.
-                    self._deficit[tenant] = 0.0
+                    # Classic DWRR: an emptied queue forfeits its deficit —
+                    # but batch-rider debt (negative deficit) survives, or a
+                    # tenant could launder prepaid bytes by draining dry.
+                    self._deficit[tenant] = min(0.0, self._deficit[tenant])
 
-    # -- per-request execution with retry ---------------------------------------
-    def _attempt(self, req: ServeRequest, slot):
+    def _drain_riders(self, leader: ServeRequest) -> List[ServeRequest]:
+        """Merge queued same-key requests into the leader's fan-out.
+
+        Each rider's cost is charged to its own tenant's deficit (which
+        may go negative — debt repaid by later quantum grants), so the
+        byte ledger reads as if every member paid for its own dispatch.
+        """
+        riders = []
+        for rider in merge_window(self.queues, leader, self.batch_max):
+            self._depth_gauge.adjust(-1)
+            self._deficit[rider.tenant] -= rider.cost
+            if self.env.now > rider.deadline:
+                self.board.settle(rider, EXPIRED)
+                continue
+            riders.append(rider)
+        return riders
+
+    # -- per-batch execution with retry ---------------------------------------
+    def _attempt(self, batch: List[ServeRequest], slot):
         try:
-            req.started = self.env.now
+            for req in batch:
+                req.started = self.env.now
             while True:
-                req.attempts += 1
+                for req in batch:
+                    req.attempts += 1
                 try:
-                    result = yield self.executor.execute(req)
+                    if len(batch) == 1:
+                        result = yield self.executor.execute(batch[0])
+                    else:
+                        result = yield self.executor.execute_batch(list(batch))
                 except ServeError:
                     raise  # accounting bugs must not be retried into silence
                 except Exception as exc:  # noqa: BLE001 - backend fault domain
-                    if req.attempts >= self.retry.max_attempts:
-                        req.finished = self.env.now
-                        req.extra["error"] = repr(exc)
-                        self.board.settle(req, FAILED)
+                    if batch[0].attempts >= self.retry.max_attempts:
+                        for req in batch:
+                            req.finished = self.env.now
+                            req.extra["error"] = repr(exc)
+                            self.board.settle(req, FAILED)
                         return
-                    self.board.retried(req)
-                    yield self.env.timeout(self.retry.delay(req.attempts))
+                    for req in batch:
+                        self.board.retried(req)
+                    yield self.env.timeout(self.retry.delay(batch[0].attempts))
                     continue
-                req.finished = self.env.now
-                req.extra["result"] = result
-                outcome = COMPLETED if req.finished <= req.deadline else LATE
-                self.board.settle(req, outcome)
+                scatter_result(batch, result, self.env.now)
+                for req in batch:
+                    outcome = COMPLETED if req.finished <= req.deadline else LATE
+                    self.board.settle(req, outcome)
                 return
         finally:
             slot.cancel()

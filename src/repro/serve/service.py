@@ -48,6 +48,9 @@ class ServeConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Load sensitivity of the DAS offload-vs-normal diversion.
     load_bias: float = 0.75
+    #: Max requests sharing one (file, kernel, params) key merged into a
+    #: single backend fan-out per dispatch; 1 disables batching.
+    batch_max: int = 1
 
 
 class ServeSystem:
@@ -80,6 +83,7 @@ class ServeSystem:
             concurrency=config.concurrency,
             quantum=config.quantum,
             retry=config.retry,
+            batch_max=config.batch_max,
         )
         self.workload = OpenLoopWorkload(
             self.cluster,
@@ -124,6 +128,26 @@ class ServeSystem:
                 "redistributions": monitors.counter("serve.redistributions").value,
             },
             "tenants": self.board.summary(elapsed),
+            "batch": {
+                "max": self.config.batch_max,
+                **self.scheduler.batch_stats.as_dict(),
+            },
+            # Wire accounting split by role: fixed per-message headers
+            # (what batching amortises) vs per-extent descriptors and
+            # halo payload (what it must NOT change per request).
+            "bytes": {
+                "request_header": int(
+                    monitors.counter("pfs.rpc.header_bytes").value
+                    + monitors.counter("as.rpc.header_bytes").value
+                ),
+                "extent_desc": int(
+                    monitors.counter("pfs.rpc.extent_desc_bytes").value
+                    + monitors.counter("as.rpc.item_bytes").value
+                ),
+                "halo_local": int(monitors.counter("as.halo_bytes_local").value),
+                "halo_remote": int(monitors.counter("as.halo_bytes_remote").value),
+            },
+            "result_digest": self.executor.result_digest(),
         }
         if self.executor.cache is not None:
             stats = self.executor.cache.stats

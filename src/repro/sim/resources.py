@@ -52,11 +52,12 @@ class Request(Event):
 class PriorityRequest(Request):
     """A request with an explicit priority; FIFO among equal priorities."""
 
-    __slots__ = ("priority", "seq")
+    __slots__ = ("priority", "seq", "withdrawn")
 
     def __init__(self, resource: "PriorityResource", priority: int = 0):
         self.priority = priority
         self.seq = resource._next_seq()
+        self.withdrawn = False
         super().__init__(resource)
 
     def __lt__(self, other: "PriorityRequest") -> bool:
@@ -122,11 +123,23 @@ class Resource:
 
 
 class PriorityResource(Resource):
-    """A :class:`Resource` whose queue is ordered by request priority."""
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Cancelling a *queued* request tombstones it (lazy deletion) instead
+    of removing it and re-heapifying: cancellation is O(1), and the dead
+    entry is skipped — and discarded — when a pop reaches it.  The heap
+    is compacted when tombstones dominate, bounding its memory at ~2x
+    the live queue.
+    """
+
+    #: Compact when tombstones exceed this many AND the live fraction
+    #: drops below half (small heaps never bother).
+    _COMPACT_MIN_DEAD = 64
 
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
         self._seq = 0
+        self._dead = 0
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -145,8 +158,11 @@ class PriorityResource(Resource):
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self._capacity:
             nxt = heapq.heappop(self.queue)  # type: ignore[arg-type]
-            if nxt._value is not PENDING:
+            if nxt.withdrawn:
+                self._dead -= 1
                 continue
+            if nxt._value is not PENDING:
+                continue  # stale (already triggered) request
             self.users.append(nxt)
             nxt.succeed()
 
@@ -154,12 +170,21 @@ class PriorityResource(Resource):
         if req in self.users:
             self.users.remove(req)
             self._grant_next()
-        else:
-            try:
-                self.queue.remove(req)
-                heapq.heapify(self.queue)  # type: ignore[arg-type]
-            except ValueError:
-                pass
+        elif req._value is PENDING and not getattr(req, "withdrawn", True):
+            # Lazy deletion: mark and leave in place; pops skip it.
+            # (A triggered request is no longer queued — nothing to do.)
+            req.withdrawn = True
+            self._dead += 1
+            if (
+                self._dead > self._COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self.queue)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        self.queue = [r for r in self.queue if not r.withdrawn]
+        heapq.heapify(self.queue)  # type: ignore[arg-type]
+        self._dead = 0
 
 
 class ContainerPut(Event):

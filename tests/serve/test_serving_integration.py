@@ -75,12 +75,29 @@ class TestDeterminism:
 class TestBenchSmoke:
     def test_serve_bench_report(self):
         report = serve_bench(
-            scale=512 * KiB, loads=(0.5,), schemes=("TS", "DAS"), verify=True
+            scale=512 * KiB,
+            loads=(0.5,),
+            schemes=("TS", "DAS"),
+            verify=True,
+            batch_max=4,
         )
-        assert len(report.rows) == 2
+        # TS@0.5 + DAS@0.5 unbatched, then the batch comparison doubles
+        # the DAS loads (0.5 and the extra overload) both ways.
+        assert len(report.rows) == 5
         for row in report.rows:
             assert row["completed"] > 0
-        # The only checks applicable to this reduced sweep are cache
-        # heat, conservation and the replay — all must hold.
+        batched = [r for r in report.rows if r["batch"] > 1]
+        assert batched and any(r["batch_hit_rate"] > 0 for r in batched)
+        # Applicable checks on this reduced sweep: cache heat, the four
+        # batching amortisation/identity claims, conservation, replay —
+        # all must hold.
         assert report.checks
         assert all(ok for _, ok in report.checks)
+
+    def test_serve_bench_batching_off_is_plain_sweep(self):
+        report = serve_bench(
+            scale=512 * KiB, loads=(0.5,), schemes=("TS",), verify=False,
+            batch_max=1,
+        )
+        assert len(report.rows) == 1
+        assert report.rows[0]["batch"] == 1

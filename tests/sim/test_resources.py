@@ -152,6 +152,110 @@ class TestPriorityResource:
         env.run()
         assert order == list("abc")
 
+    def test_cancellation_preserves_grant_order(self, env):
+        """Lazily-deleted (tombstoned) requests must not disturb the
+        priority/FIFO order of the survivors."""
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)
+
+        def user(name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+
+        def quitter(prio):
+            req = res.request(priority=prio)
+            yield env.timeout(0.2)
+            req.cancel()
+
+        env.process(holder())
+
+        def spawn():
+            yield env.timeout(0.1)
+            # Interleave survivors and quitters across priorities.
+            env.process(user("low-1", 5))
+            env.process(quitter(1))
+            env.process(user("high-1", 1))
+            env.process(quitter(3))
+            env.process(user("mid-1", 3))
+            env.process(user("high-2", 1))
+            env.process(quitter(5))
+            env.process(user("low-2", 5))
+
+        env.process(spawn())
+        env.run()
+        assert order == ["high-1", "high-2", "mid-1", "low-1", "low-2"]
+        assert res._dead == 0  # every tombstone was discarded on pop
+
+    def test_mass_cancellation_compacts_and_keeps_order(self, env):
+        """Past the tombstone threshold the heap is compacted in place;
+        grant order is still priority-then-FIFO over the survivors."""
+        res = PriorityResource(env, capacity=1)
+        n = 210  # two thirds doomed: enough to cross the compaction bar
+        order = []
+
+        def holder():
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(1)
+
+        def user(name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+
+        doomed = []
+
+        def spawn():
+            yield env.timeout(0.1)
+            for i in range(n):
+                if i % 3:
+                    doomed.append(res.request(priority=i % 7))
+                else:
+                    env.process(user(i, prio=i % 7))
+
+        survivors = [i for i in range(n) if i % 3 == 0]
+
+        def cancel_all():
+            yield env.timeout(0.2)
+            assert len(res.queue) == n
+            for req in doomed:
+                req.cancel()
+            # The tombstone threshold was crossed mid-way and the heap
+            # compacted: the queue shrank, and every entry is now either
+            # live or one of the post-compaction tombstones.
+            assert len(res.queue) < n
+            assert res._dead < len(doomed)
+            assert len(res.queue) == len(survivors) + res._dead
+
+        env.process(holder())
+        env.process(spawn())
+        env.process(cancel_all())
+        env.run()
+        assert order == sorted(survivors, key=lambda i: (i % 7, i))
+        assert res._dead == 0  # the stragglers were discarded on pop
+
+    def test_double_release_of_granted_request_is_inert(self, env):
+        """Releasing an already-released token must not tombstone it or
+        corrupt the dead counter."""
+        res = PriorityResource(env, capacity=1)
+
+        def user():
+            req = res.request(priority=1)
+            yield req
+            res.release(req)
+            res.release(req)  # idempotent
+
+        p = env.process(user())
+        env.run(until=p)
+        assert res._dead == 0
+        assert not res.users and not res.queue
+
 
 class TestContainer:
     def test_initial_level_validated(self, env):
