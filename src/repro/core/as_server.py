@@ -27,17 +27,17 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ActiveStorageError
+from ..errors import ActiveStorageError, LinkDownError, NodeDownError
 from ..kernels.base import KernelRegistry, default_registry
 from ..kernels.reductions import ReductionRegistry, default_reductions
 from ..kernels.stencil import Window, window_bounds
-from ..net.message import Message
+from ..net.message import FaultNotice, Message
 from ..pfs.dataserver import ReadPiece, WritePiece, accounted_wire_size
 from ..pfs.dataserver import TAG_PFS
 from ..pfs.datafile import FileMeta
 from ..pfs.filesystem import ParallelFileSystem
 from ..pfs.localio import LocalFile
-from ..sim import Resource
+from ..sim import Resource, contain_failures
 from .request import EXEC_REPLY_BYTES, TAG_AS, ServerExecStats
 
 HALO_GRANULARITIES = ("strip", "exact")
@@ -86,6 +86,29 @@ class ASServer:
             self.env.process(self._handle(msg), name=f"as-handle:{self.name}")
 
     def _handle(self, msg: Message):
+        if not self.node.is_up:
+            # A crashed helper answers nothing; requests already in its
+            # mailbox die with the process state.
+            self.monitors.counter("faults.dropped_requests").add()
+            return
+        try:
+            yield from self._handle_op(msg)
+        except (NodeDownError, LinkDownError) as exc:
+            # A *downstream* dependency died mid-request (a peer holding
+            # halo strips, a replica holder for the output, the path to
+            # either).  This node is still alive, so it must answer —
+            # silently dropping the request would leave the caller
+            # blocked forever.
+            kind = "link-down" if isinstance(exc, LinkDownError) else "node-down"
+            self.monitors.counter("faults.error_replies").add()
+            try:
+                yield self.transport.reply(
+                    msg, FaultNotice(kind=kind, error=str(exc)), EXEC_REPLY_BYTES
+                )
+            except (NodeDownError, LinkDownError):
+                self.monitors.counter("faults.dropped_replies").add()
+
+    def _handle_op(self, msg: Message):
         req = msg.payload
         op = req.get("op")
         if op == "exec":
@@ -186,7 +209,7 @@ class ASServer:
                     name=f"as-run:{self.name}:{first}",
                 )
             )
-        for job in jobs:
+        for job in contain_failures(jobs):
             yield job
         return stats
 
@@ -266,7 +289,7 @@ class ASServer:
             )
         for owner, strips in remote_strips.items():
             jobs.append(self.env.process(self._remote_job(meta, owner, strips, out, stats)))
-        for job in jobs:
+        for job in contain_failures(jobs):
             yield job
         local_bytes = sum(p.length for p in local_pieces)
         stats.halo_bytes_local += local_bytes
@@ -362,6 +385,6 @@ class ASServer:
                 )
             )
             stats.output_bytes_remote += payload_bytes
-        for job in jobs:
+        for job in contain_failures(jobs):
             yield job
         return None

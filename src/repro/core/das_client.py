@@ -15,9 +15,17 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..errors import ActiveStorageError, OffloadRejectedError
+from ..errors import (
+    ActiveStorageError,
+    LinkDownError,
+    NodeDownError,
+    OffloadRejectedError,
+    RPCTimeoutError,
+)
 from ..kernels.base import KernelRegistry, default_registry
+from ..net.message import FaultNotice
 from ..pfs.filesystem import ParallelFileSystem
+from ..sim import contain_failures
 from .as_server import ASServer
 from .decision import DecisionEngine, OffloadDecision
 from .features import KernelFeatures
@@ -30,6 +38,10 @@ from .request import (
     ServerExecStats,
     exec_request_wire_size,
 )
+
+#: Exec RPCs cover a whole file's kernel pass, so their fault-detection
+#: timeout is a multiple of the (read-sized) ``rpc_timeout``.
+EXEC_TIMEOUT_FACTOR = 8
 
 
 class ActiveStorageClient:
@@ -53,6 +65,9 @@ class ActiveStorageClient:
         self.engine = engine or DecisionEngine(
             features=KernelFeatures.from_registry(self.registry)
         )
+        #: Optional :class:`~repro.faults.RecoveryPolicy`; ``None`` keeps
+        #: the original fan-out path untouched.
+        self.recovery = None
         self.servers: Dict[str, ASServer] = {}
         if start_servers:
             for name in pfs.server_names:
@@ -158,26 +173,19 @@ class ActiveStorageClient:
                 monitors.counter("as.rpc.item_bytes").add(
                     EXEC_ITEM_BYTES * (batch - 1)
                 )
-            calls.append(
-                self.transport.call(
-                    self.home,
-                    server,
-                    {
-                        "op": "exec",
-                        "kernel": request.operator,
-                        "file": request.file,
-                        "output": request.output,
-                        "replicate_output": request.replicate_output,
-                        "batch": batch,
-                    },
-                    wire,
-                    tag=TAG_AS,
-                )
-            )
+            payload = {
+                "op": "exec",
+                "kernel": request.operator,
+                "file": request.file,
+                "output": request.output,
+                "replicate_output": request.replicate_output,
+                "batch": batch,
+            }
+            calls.append(self._call_or_ft(server, payload, wire))
         per_server: Dict[str, ServerExecStats] = {}
-        for call in calls:
+        for call in contain_failures(calls):
             reply = yield call
-            stats = reply.payload
+            stats = self._check_reply(reply)
             per_server[stats.server] = stats
 
         total_elements = sum(s.elements for s in per_server.values())
@@ -215,12 +223,10 @@ class ActiveStorageClient:
         meta = self.pfs.metadata.lookup(file)
         started = self.env.now
         calls = [
-            self.transport.call(
-                self.home,
+            self._call_or_ft(
                 server,
                 {"op": "reduce", "kernel": operator, "file": file},
                 EXEC_REQUEST_BYTES,
-                tag=TAG_AS,
             )
             for server in self.pfs.server_names
         ]
@@ -228,9 +234,9 @@ class ActiveStorageClient:
         have = False
         covered = 0
         moved = 0
-        for call in calls:
+        for call in contain_failures(calls):
             reply = yield call
-            payload = reply.payload
+            payload = self._check_reply(reply)
             covered += payload["elements"]
             moved += reply.size
             if payload["partial"] is None:
@@ -247,6 +253,70 @@ class ActiveStorageClient:
             "elapsed": self.env.now - started,
             "result_bytes_moved": moved,
         }
+
+    # -- fault-tolerant RPC plumbing ------------------------------------------
+    def _call_or_ft(self, server: str, payload, wire: float):
+        """One outbound AS RPC: the plain transport call when no
+        recovery policy is attached, a timeout/retry wrapper otherwise."""
+        if self.recovery is None:
+            return self.transport.call(self.home, server, payload, wire, tag=TAG_AS)
+        return self.env.process(
+            self._ft_call(server, payload, wire), name=f"as-ft:{self.home}->{server}"
+        )
+
+    def _guard(self, event):
+        """Subprocess turning an event's outcome into a value so it can
+        be raced inside ``any_of`` without an unpicked failure escaping."""
+        try:
+            value = yield event
+        except Exception as exc:  # noqa: BLE001 - outcome becomes data
+            return ("err", exc)
+        return ("ok", value)
+
+    def _ft_call(self, server: str, payload, wire: float):
+        """Exec/reduce RPC with detection: per-attempt timeout and
+        exponential backoff.  There is no replica to fail over to — an
+        offload *must* run where the primary strips live — so exhausted
+        attempts surface the error for the caller's degraded-mode
+        fallback (normal I/O with replica failover)."""
+        policy = self.recovery
+        monitors = self.cluster.monitors
+        timeout = policy.rpc_timeout * EXEC_TIMEOUT_FACTOR
+        attempt = 1
+        while True:
+            call = self.transport.call(self.home, server, payload, wire, tag=TAG_AS)
+            guard = self.env.process(
+                self._guard(call), name=f"as-ft-guard:{self.home}->{server}"
+            )
+            deadline = self.env.timeout(timeout)
+            yield self.env.any_of([guard, deadline])
+            if guard.processed:
+                status, value = guard.value
+                if status == "ok":
+                    return value
+                err = value
+            else:
+                monitors.counter("faults.rpc_timeouts").add()
+                err = RPCTimeoutError(
+                    f"AS RPC to {server!r} unanswered after {timeout:g}s"
+                )
+            if attempt >= policy.max_attempts:
+                raise err
+            monitors.counter("faults.retries").add()
+            backoff = policy.delay(attempt)
+            if backoff:
+                yield self.env.timeout(backoff)
+            attempt += 1
+
+    @staticmethod
+    def _check_reply(reply):
+        """Unwrap an AS reply, translating a server's
+        :class:`~repro.net.message.FaultNotice` back into its exception."""
+        payload = reply.payload
+        if isinstance(payload, FaultNotice):
+            exc_cls = LinkDownError if payload.kind == "link-down" else NodeDownError
+            raise exc_cls(payload.error)
+        return payload
 
     def _register_output(self, request: ActiveRequest, meta) -> None:
         """Create the output file record: same geometry, kernels emit

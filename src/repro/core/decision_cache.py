@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 from ..errors import ActiveStorageError
 from ..kernels.pattern import DependencePattern
@@ -61,6 +61,7 @@ class DecisionCacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    expirations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -73,16 +74,38 @@ class DecisionCache:
 
     ``capacity`` bounds the number of cached verdicts (LRU eviction);
     a serving mix rarely needs more than kernels x layouts x sizes.
+
+    ``ttl`` (with a ``clock`` returning the current simulated time)
+    bounds how long a verdict may be reused: entries older than ``ttl``
+    are dropped on lookup and recomputed.  Structural invalidation
+    (redistribution changes the key) handles layout churn; the TTL is a
+    safety net for environment drift the key cannot see — e.g. cluster
+    membership changing under fault injection.
     """
 
-    def __init__(self, engine: DecisionEngine, capacity: int = 256):
+    def __init__(
+        self,
+        engine: DecisionEngine,
+        capacity: int = 256,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if capacity <= 0:
             raise ActiveStorageError(
                 f"decision cache capacity must be positive, got {capacity!r}"
             )
+        if ttl is not None:
+            if ttl <= 0:
+                raise ActiveStorageError(f"TTL must be positive, got {ttl!r}")
+            if clock is None:
+                raise ActiveStorageError("a TTL'd decision cache needs a clock")
         self.engine = engine
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[tuple, OffloadDecision]" = OrderedDict()
+        self.ttl = ttl
+        self._clock = clock or (lambda: 0.0)
+        self._entries: "OrderedDict[tuple, Tuple[OffloadDecision, float]]" = (
+            OrderedDict()
+        )
         self.stats = DecisionCacheStats()
 
     def key(
@@ -111,14 +134,19 @@ class DecisionCache:
                 meta, operator, pipeline_length, allow_redistribution=False
             )
         k = self.key(meta, operator, pipeline_length)
-        cached = self._entries.get(k)
-        if cached is not None:
-            self._entries.move_to_end(k)
-            self.stats.hits += 1
-            return cached
+        entry = self._entries.get(k)
+        if entry is not None:
+            cached, stamp = entry
+            if self.ttl is not None and self._clock() - stamp > self.ttl:
+                del self._entries[k]
+                self.stats.expirations += 1
+            else:
+                self._entries.move_to_end(k)
+                self.stats.hits += 1
+                return cached
         self.stats.misses += 1
         decision = self.engine.decide(meta, operator, pipeline_length)
-        self._entries[k] = decision
+        self._entries[k] = (decision, self._clock())
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

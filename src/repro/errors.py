@@ -46,6 +46,14 @@ class NodeDownError(NetworkError):
     """The destination node is offline (failure injection)."""
 
 
+class LinkDownError(NetworkError):
+    """The link between two specific nodes is cut (network partition)."""
+
+
+class RPCTimeoutError(NetworkError):
+    """An RPC outlived its recovery-policy timeout without a reply."""
+
+
 class PFSError(ReproError):
     """Errors raised by the simulated parallel file system."""
 
@@ -101,6 +109,14 @@ class ServeError(ReproError):
 class AdmissionError(ServeError):
     """A request was submitted in a state the admission path rejects
     outright (unknown tenant, closed system, malformed request)."""
+
+
+class FaultError(ReproError):
+    """Errors raised by the fault-injection subsystem."""
+
+
+class FaultSpecError(FaultError):
+    """A chaos spec string (or FaultPlan construction) is malformed."""
 
 
 class HarnessError(ReproError):

@@ -1,0 +1,27 @@
+"""Fault injection and fault tolerance for the simulated platform.
+
+Three planes (see docs/ARCHITECTURE.md, "Fault tolerance"):
+
+* **Injection** — :class:`FaultPlan` (a deterministic schedule of
+  crashes, disk degradations and link cuts, buildable in code, from a
+  chaos-spec string, or from a seeded RNG) applied by a
+  :class:`FaultInjector` process at simulated times.
+* **Detection & recovery** — :class:`RecoveryPolicy` configures
+  per-RPC timeouts, exponential backoff, optional hedged reads and
+  replica failover in ``pfs.client`` / ``core.das_client``.
+* **Measurement** — the injector and recovery paths book
+  ``faults.*`` counters that :func:`repro.metrics.fault_summary`
+  rolls up (availability, failover reads, hedge wins, MTTR).
+"""
+
+from .injector import FaultInjector
+from .plan import KINDS, FaultEvent, FaultPlan
+from .policy import RecoveryPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "KINDS",
+    "RecoveryPolicy",
+]

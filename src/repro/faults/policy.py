@@ -1,0 +1,60 @@
+"""Recovery policy: how clients detect and route around failures.
+
+A :class:`RecoveryPolicy` is deliberately *opt-in*: every client keeps
+``recovery = None`` by default, in which case the fault-tolerant code
+paths are never entered and the simulation is event-for-event identical
+to a build without this module.  Attaching a policy enables per-RPC
+timeouts, exponential backoff between attempts, replica failover and
+(optionally) hedged reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import FaultSpecError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Timeout / retry / hedging knobs for fault-tolerant RPCs.
+
+    ``rpc_timeout``
+        Seconds a single attempt may run before it is abandoned and
+        counted as :class:`~repro.errors.RPCTimeoutError`.
+    ``max_attempts``
+        Attempts against the *primary* server before failing over to a
+        replica (or giving up when none exists).
+    ``backoff`` / ``backoff_factor``
+        Exponential backoff between attempts: attempt ``n`` (1-based)
+        waits ``backoff * backoff_factor ** (n - 1)`` before retrying.
+    ``hedge_delay``
+        When set, a read still unanswered after this many seconds
+        spawns a duplicate ("hedged") read against a replica; whichever
+        copy finishes first wins.  ``None`` disables hedging.
+    """
+
+    rpc_timeout: float = 0.25
+    max_attempts: int = 2
+    backoff: float = 0.02
+    backoff_factor: float = 2.0
+    hedge_delay: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rpc_timeout <= 0:
+            raise FaultSpecError(f"rpc_timeout must be > 0, got {self.rpc_timeout!r}")
+        if self.max_attempts < 1:
+            raise FaultSpecError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff < 0:
+            raise FaultSpecError(f"backoff must be >= 0, got {self.backoff!r}")
+        if self.backoff_factor < 1.0:
+            raise FaultSpecError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.hedge_delay is not None and self.hedge_delay < 0:
+            raise FaultSpecError(f"hedge_delay must be >= 0, got {self.hedge_delay!r}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after the ``attempt``-th failure (1-based)."""
+        return self.backoff * self.backoff_factor ** max(0, attempt - 1)

@@ -414,6 +414,7 @@ def ext_oversub(
     )
 
 
+from .chaos_bench import chaos_bench  # noqa: E402  (needs ExperimentReport above)
 from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
 
 #: Experiment id -> regenerator.
@@ -426,6 +427,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "fig14": fig14,
     "ext-oversub": ext_oversub,
     "serve-bench": serve_bench,
+    "chaos-bench": chaos_bench,
 }
 
 

@@ -59,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--chaos-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos-bench only: run one extra DAS cell under this fault"
+            " schedule, e.g. 'crash:s1@1.0;recover:s1@3.0;slow:s2@2.0x0.1'"
+        ),
+    )
+    parser.add_argument(
         "--batch-max",
         type=int,
         default=None,
@@ -80,6 +89,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = dict(scale=args.scale_kb * KiB, verify=not args.no_verify)
         if name == "serve-bench" and args.batch_max is not None:
             kwargs["batch_max"] = args.batch_max
+        if name == "chaos-bench" and args.chaos_spec is not None:
+            kwargs["chaos_spec"] = args.chaos_spec
         begin = time.perf_counter()
         report = run_experiment(name, **kwargs)
         timed.append((report, time.perf_counter() - begin))

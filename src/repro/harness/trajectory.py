@@ -7,7 +7,8 @@ future change can diff its numbers against a checked-in baseline instead
 of re-deriving them from logs.
 
 The serve-bench goes to :data:`SERVE_BENCH_FILE`; the paper regenerators
-(table1, fig10–14, ext-oversub) are folded into :data:`PAPER_BENCH_FILE`.
+(table1, fig10–14, ext-oversub) are folded into :data:`PAPER_BENCH_FILE`;
+the chaos-bench goes to :data:`FAULTS_BENCH_FILE`.
 Baselines live under ``benchmarks/`` in the repo; CI regenerates the
 serve file at reduced scale and uploads it as an artifact.
 """
@@ -22,6 +23,7 @@ from .experiments import ExperimentReport
 
 SERVE_BENCH_FILE = "BENCH_serve.json"
 PAPER_BENCH_FILE = "BENCH_paper.json"
+FAULTS_BENCH_FILE = "BENCH_faults.json"
 
 #: Experiments recorded into BENCH_paper.json.
 PAPER_EXPERIMENTS = (
@@ -91,6 +93,11 @@ def write_trajectory(
             PAPER_BENCH_FILE,
             "paper",
             [(r, w) for r, w in entries if r.experiment in PAPER_EXPERIMENTS],
+        ),
+        (
+            FAULTS_BENCH_FILE,
+            "faults",
+            [(r, w) for r, w in entries if r.experiment == "chaos-bench"],
         ),
     )
     written: List[Path] = []

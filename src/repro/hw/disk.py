@@ -33,9 +33,28 @@ class Disk:
         self.seek = float(spec.disk_seek)
         self.monitors = monitors
         self.arm = Resource(env, capacity=1)
+        #: Throughput multiplier in (0, 1]; < 1 models a degraded disk
+        #: (failing sectors, RAID rebuild).  Set via :meth:`degrade`.
+        self._health = 1.0
+
+    @property
+    def health(self) -> float:
+        return self._health
+
+    def degrade(self, factor: float) -> None:
+        """Scale streaming throughput by ``factor`` (fault injection)."""
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(
+                f"disk degradation factor must be in (0, 1], got {factor!r}"
+            )
+        self._health = float(factor)
+
+    def restore(self) -> None:
+        """Return the disk to full throughput."""
+        self._health = 1.0
 
     def io_seconds(self, size: float) -> float:
-        return self.seek + size / self.bandwidth
+        return self.seek + size / (self.bandwidth * self._health)
 
     def read(self, size: float):
         """Process: read ``size`` bytes (seek + stream)."""

@@ -1,0 +1,54 @@
+"""Measurement plane of the fault subsystem: roll up ``faults.*``.
+
+Everything the injector and the recovery paths do is booked into
+monitor counters as it happens; :func:`fault_summary` condenses them
+into one deterministic dict for serving summaries and the chaos bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.monitor import MonitorHub
+
+#: Integer event tallies booked under ``faults.<name>``.
+FAULT_COUNTERS = (
+    "crashes",
+    "recoveries",
+    "disk_degraded",
+    "disk_restored",
+    "link_cuts",
+    "link_heals",
+    "dropped_requests",
+    "dropped_replies",
+    "error_replies",
+    "failover_reads",
+    "hedged_reads",
+    "hedge_wins",
+    "rpc_timeouts",
+    "retries",
+    "degraded_decisions",
+)
+
+
+def fault_summary(monitors: MonitorHub, injector=None) -> Dict[str, object]:
+    """Fault/recovery tallies plus repair timing when an injector ran.
+
+    ``injector`` is an optional
+    :class:`~repro.faults.injector.FaultInjector`; with one, the
+    summary includes MTTR (mean time to repair over completed outages),
+    the repair count, and how many plan events were applied.
+    """
+    out: Dict[str, object] = {
+        name: int(monitors.counter(f"faults.{name}").value)
+        for name in FAULT_COUNTERS
+    }
+    out["downtime_seconds"] = float(
+        monitors.counter("faults.downtime_seconds").value
+    )
+    if injector is not None:
+        out["mttr"] = injector.mttr()
+        out["repairs"] = injector.repairs
+        out["events_applied"] = len(injector.applied)
+        out["still_down"] = list(injector.still_down)
+    return out

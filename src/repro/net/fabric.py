@@ -9,9 +9,9 @@ switch for ablation experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Optional, Set
 
-from ..errors import NetworkError, RoutingError
+from ..errors import LinkDownError, NetworkError, RoutingError
 from ..sim import Environment, Resource
 from .fluid import FluidScheduler
 from .nic import NIC
@@ -43,6 +43,9 @@ class Fabric:
         self._flow_tokens: Optional[Resource] = (
             Resource(env, capacity=flow_limit) if flow_limit > 0 else None
         )
+        #: Cut node pairs (unordered): traffic between them fails until
+        #: healed.  Fault injection for partitions and flapping links.
+        self._cuts: Set[FrozenSet[str]] = set()
 
     @property
     def flow_limit(self) -> int:
@@ -69,9 +72,25 @@ class Fabric:
             self._partitions.get(src, "") != self._partitions.get(dst, "")
         )
 
+    # -- fault injection: pairwise partitions --------------------------------
+    def cut(self, a: str, b: str) -> None:
+        """Partition the path between ``a`` and ``b`` (both directions)."""
+        self.nic_of(a), self.nic_of(b)  # validate endpoints
+        self._cuts.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore a previously cut path (no-op when not cut)."""
+        self._cuts.discard(frozenset((a, b)))
+
+    def link_up(self, a: str, b: str) -> bool:
+        """True iff the path between ``a`` and ``b`` is not cut."""
+        return not self._cuts or frozenset((a, b)) not in self._cuts
+
     def transfer(self, src: str, dst: str, size: float):
         """Start a fluid flow src->dst; the returned event succeeds when
         the bytes have drained through every link on the path."""
+        if not self.link_up(src, dst):
+            raise LinkDownError(f"link {src!r}<->{dst!r} is cut")
         src_nic = self.nic_of(src)
         dst_nic = self.nic_of(dst)
         links = [src_nic.tx_link, dst_nic.rx_link]

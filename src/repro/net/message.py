@@ -18,6 +18,21 @@ TAG_CONTROL = "control"
 _msg_ids = itertools.count(1)
 
 
+@dataclass(frozen=True)
+class FaultNotice:
+    """Error payload a server returns when it cannot serve a request.
+
+    A *live* server whose downstream dependency failed (a replica
+    holder crashed, a link was cut) must still answer — silently
+    dropping the request would leave a non-fault-tolerant caller
+    blocked forever.  Clients translate a :class:`FaultNotice` reply
+    back into the named exception.
+    """
+
+    kind: str  #: "node-down" | "link-down"
+    error: str  #: human-readable description
+
+
 @dataclass
 class Message:
     """One simulated network message.

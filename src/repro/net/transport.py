@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..errors import NodeDownError
+from ..errors import LinkDownError, NodeDownError
 from ..sim import Environment, FilterStore
 from ..sim.monitor import MonitorHub
 from .fabric import Fabric
@@ -74,6 +74,8 @@ class Transport:
             raise NodeDownError(f"destination node {msg.dst!r} is down")
         if not src_nic.is_up:
             raise NodeDownError(f"source node {msg.src!r} is down")
+        if not self.fabric.link_up(msg.src, msg.dst):
+            raise LinkDownError(f"link {msg.src!r}<->{msg.dst!r} is cut")
 
         flow_token = self.fabric.admit()
         try:

@@ -105,6 +105,14 @@ class StripCache:
             self.invalidate(k)
         return len(victims)
 
+    def clear(self) -> int:
+        """Drop every resident strip (a crashed server loses its page
+        cache); returns the number of strips dropped."""
+        dropped = len(self._resident)
+        self._resident.clear()
+        self._used = 0
+        return dropped
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -15,8 +15,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import LayoutError, PFSError
+from ..errors import LayoutError, NodeDownError, PFSError
 from ..hw.cluster import Cluster
+from ..sim import contain_failures
 from .dataserver import (
     TAG_PFS,
     DataServer,
@@ -47,6 +48,10 @@ class PFSClient:
         self.metadata = metadata
         self.servers = servers
         self.home = home
+        #: Optional :class:`~repro.faults.RecoveryPolicy`.  ``None`` (the
+        #: default) keeps the original read path — event-for-event
+        #: identical to a build without fault tolerance.
+        self.recovery = None
 
     # -- instant (untimed) setup & verification paths --------------------------
     def ingest(
@@ -146,6 +151,13 @@ class PFSClient:
                 positioned.append((total + (e.offset - offset), e))
             total += length
 
+        out = np.empty(total, dtype=np.uint8)
+        if self.recovery is not None:
+            yield from self._fill_positioned_ft(
+                meta, name, positioned, out, self.recovery, frozenset()
+            )
+            return out
+
         by_server: Dict[str, list] = {}
         for pos, e in positioned:
             by_server.setdefault(e.server, []).append((pos, e))
@@ -164,14 +176,10 @@ class PFSClient:
                 ),
             )
 
-        out = np.empty(total, dtype=np.uint8)
+        contain_failures([call for _, call in calls.values()])
         for server, (group, call) in calls.items():
             reply = yield call
-            data = reply.payload
-            cursor = 0
-            for pos, e in group:
-                out[pos : pos + e.length] = data[cursor : cursor + e.length]
-                cursor += e.length
+            self._scatter_reply(reply.payload, group, out)
         return out
 
     def read_region(self, name: str, row0: int, col0: int, n_rows: int, n_cols: int):
@@ -265,7 +273,7 @@ class PFSClient:
                     tag=TAG_PFS,
                 )
             )
-        for call in calls:
+        for call in contain_failures(calls):
             yield call
         return raw.nbytes
 
@@ -277,6 +285,162 @@ class PFSClient:
                 f"dtype mismatch writing {name!r}: {data.dtype} != {meta.dtype}"
             )
         return self.write(name, first * meta.element_size, data)
+
+    # -- fault-tolerant read path -------------------------------------------------
+    def _guard(self, event):
+        """Subprocess translating an event's outcome into a value.
+
+        Racing raw events inside ``any_of`` is ambiguous when one can
+        *fail* (the whole condition fails without saying which leg).
+        A guard never fails: it finishes with ``("ok", value)`` or
+        ``("err", exc)``, and an abandoned guard completing after the
+        race was decided is harmless.
+        """
+        try:
+            value = yield event
+        except Exception as exc:  # noqa: BLE001 - outcome becomes data
+            return ("err", exc)
+        return ("ok", value)
+
+    def _fill_positioned_ft(self, meta, name, positioned, out, policy, excluded):
+        """Fill ``out`` from ``(position, extent)`` pairs with recovery.
+
+        One fault-tolerant sub-read per touched server, joined so that a
+        sibling's terminal failure is contained until this process
+        reaches it at its ``yield``.
+        """
+        by_server: Dict[str, list] = {}
+        for pos, e in positioned:
+            by_server.setdefault(e.server, []).append((pos, e))
+        jobs = [
+            self.env.process(
+                self._server_read_ft(meta, name, server, group, out, policy, excluded),
+                name=f"pfs-ft:{self.home}->{server}",
+            )
+            for server, group in by_server.items()
+        ]
+        for job in contain_failures(jobs):
+            yield job
+
+    def _server_read_ft(self, meta, name, server, group, out, policy, excluded):
+        """Read one server's pieces with timeout, backoff, hedging and
+        replica failover, scattering the bytes into ``out``."""
+        monitors = self.cluster.monitors
+        pieces = [ReadPiece(e.strip, e.in_strip, e.length) for _, e in group]
+        attempt = 1
+        hedge_guard = None
+        while True:
+            call = self.transport.call(
+                self.home,
+                server,
+                {"op": "read", "file": name, "pieces": pieces},
+                accounted_wire_size(monitors, len(pieces)),
+                tag=TAG_PFS,
+            )
+            guard = self.env.process(
+                self._guard(call), name=f"pfs-ft-guard:{self.home}->{server}"
+            )
+            deadline = self.env.timeout(policy.rpc_timeout)
+            hedge_timer = (
+                self.env.timeout(policy.hedge_delay)
+                if policy.hedge_delay is not None and hedge_guard is None
+                else None
+            )
+            while True:
+                race = [guard, deadline]
+                if hedge_guard is not None:
+                    race.append(hedge_guard)
+                elif hedge_timer is not None:
+                    race.append(hedge_timer)
+                yield self.env.any_of(race)
+                if guard.processed:
+                    status, value = guard.value
+                    if status == "ok":
+                        self._scatter_reply(value.payload, group, out)
+                        return
+                    break  # attempt failed fast (node/link down en route)
+                if hedge_guard is not None and hedge_guard.processed:
+                    status, value = hedge_guard.value
+                    if status == "ok":
+                        monitors.counter("faults.hedge_wins").add()
+                        return
+                    hedge_guard = None  # hedge died; keep the primary attempt
+                    continue
+                if hedge_timer is not None and hedge_timer.processed:
+                    hedge_timer = None
+                    remapped = self._remap_group(
+                        meta.layout, group, excluded | {server}
+                    )
+                    if remapped is not None:
+                        monitors.counter("faults.hedged_reads").add()
+                        hedge_guard = self.env.process(
+                            self._guard(
+                                self.env.process(
+                                    self._fill_positioned_ft(
+                                        meta,
+                                        name,
+                                        remapped,
+                                        out,
+                                        policy,
+                                        excluded | {server},
+                                    ),
+                                    name=f"pfs-hedge:{self.home}",
+                                )
+                            ),
+                            name=f"pfs-hedge-guard:{self.home}",
+                        )
+                    continue
+                if deadline.processed:
+                    monitors.counter("faults.rpc_timeouts").add()
+                    break
+            if attempt >= policy.max_attempts:
+                break
+            monitors.counter("faults.retries").add()
+            backoff = policy.delay(attempt)
+            if backoff:
+                yield self.env.timeout(backoff)
+            attempt += 1
+        # Primary attempts exhausted.  A hedge already in flight is the
+        # cheapest rescue; otherwise remap every piece to a live replica.
+        if hedge_guard is not None:
+            status, value = yield hedge_guard
+            if status == "ok":
+                monitors.counter("faults.hedge_wins").add()
+                return
+        remapped = self._remap_group(meta.layout, group, excluded | {server})
+        if remapped is None:
+            raise NodeDownError(
+                f"server {server!r} unresponsive and no live replica"
+                f" covers its strips of {name!r}"
+            )
+        monitors.counter("faults.failover_reads").add(len(group))
+        yield from self._fill_positioned_ft(
+            meta, name, remapped, out, policy, excluded | {server}
+        )
+
+    def _remap_group(self, layout: Layout, group, excluded):
+        """Re-home ``(position, extent)`` pairs onto live replicas not in
+        ``excluded``; ``None`` when any strip has nowhere to go."""
+        from dataclasses import replace as _replace
+
+        remapped = []
+        for pos, e in group:
+            candidate = None
+            for srv in layout.replicas(e.strip):
+                if srv not in excluded and self.cluster.node(srv).is_up:
+                    candidate = srv
+                    break
+            if candidate is None:
+                return None
+            remapped.append((pos, _replace(e, server=candidate)))
+        return remapped
+
+    @staticmethod
+    def _scatter_reply(data, group, out) -> None:
+        cursor = 0
+        for pos, e in group:
+            out[pos : pos + e.length] = data[cursor : cursor + e.length]
+            cursor += e.length
 
     # -- degraded-mode read path -------------------------------------------------
     def _failover(self, layout: Layout, extent: StripExtent) -> StripExtent:
@@ -292,6 +456,7 @@ class PFSClient:
 
         for candidate in layout.replicas(extent.strip):
             if candidate != extent.server and self.cluster.node(candidate).is_up:
+                self.cluster.monitors.counter("faults.failover_reads").add()
                 return _replace(extent, server=candidate)
         raise NodeDownError(
             f"strip {extent.strip} unreachable: holder {extent.server!r} is down"

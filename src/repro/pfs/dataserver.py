@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import PFSError, StripMissingError
+from ..errors import LinkDownError, NodeDownError, PFSError, StripMissingError
 from ..hw.node import Node
 from ..net.message import Message
 from ..net.transport import Transport
@@ -214,6 +214,11 @@ class DataServer:
             self.env.process(self._handle(msg), name=f"pfs-handle:{self.name}")
 
     def _handle(self, msg: Message):
+        if not self.node.is_up:
+            # A crashed server cannot answer; the request that was
+            # already in its mailbox vanishes with the process state.
+            self.monitors.counter("faults.dropped_requests").add()
+            return
         request = msg.payload
         op = request.get("op")
         # Per-request control-plane work on the node's engine: this is
@@ -222,12 +227,18 @@ class DataServer:
         yield self.node.cpu.service(self.node.spec.rpc_overhead, f"pfs-{op}")
         if op == "read":
             data = yield self.read_pieces(request["file"], request["pieces"])
-            yield self.transport.reply(msg, data, data.nbytes)
+            reply = self.transport.reply(msg, data, data.nbytes)
         elif op == "write":
             total = yield self.write_pieces(request["file"], request["pieces"])
-            yield self.transport.reply(msg, {"written": total}, ACK_BYTES)
+            reply = self.transport.reply(msg, {"written": total}, ACK_BYTES)
         else:
             raise PFSError(f"unknown PFS op {op!r} from {msg.src!r}")
+        try:
+            yield reply
+        except (NodeDownError, LinkDownError):
+            # The requester (or the path back to it) died while we were
+            # serving; nothing left to tell anyone.
+            self.monitors.counter("faults.dropped_replies").add()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DataServer {self.name} strips={len(self._strips)}>"

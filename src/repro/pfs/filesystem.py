@@ -36,6 +36,14 @@ class ParallelFileSystem:
         }
         self.redistributor = Redistributor(cluster, self.metadata, self.servers)
         self._clients: Dict[str, PFSClient] = {}
+        self._recovery = None
+
+    def set_recovery(self, policy) -> None:
+        """Attach a :class:`~repro.faults.RecoveryPolicy` to every client
+        (existing and future).  ``None`` turns fault tolerance back off."""
+        self._recovery = policy
+        for client in self._clients.values():
+            client.recovery = policy
 
     @property
     def server_names(self):
@@ -46,6 +54,7 @@ class ParallelFileSystem:
         client = self._clients.get(home)
         if client is None:
             client = PFSClient(self.cluster, self.metadata, self.servers, home)
+            client.recovery = self._recovery
             self._clients[home] = client
         return client
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ActiveStorageError
 from ..kernels.stencil import Window, window_bounds
+from ..sim import contain_failures
 from .base import Scheme
 
 
@@ -101,7 +102,7 @@ class TraditionalScheme(Scheme):
                     name=f"ts-worker:{node.name}",
                 )
             )
-        for worker in workers:
+        for worker in contain_failures(workers):
             yield worker
 
         return self._result(

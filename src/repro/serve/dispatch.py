@@ -51,7 +51,7 @@ from ..kernels.base import KernelRegistry, default_registry
 from ..pfs.filesystem import ParallelFileSystem
 from ..schemes.nas import NormalActiveStorageScheme
 from ..schemes.traditional import TraditionalScheme
-from ..sim.resources import Resource
+from ..sim.resources import ReadWriteLock
 from .batch import batch_key, combine_digests, digest_bytes
 from .workload import ServeRequest
 
@@ -69,6 +69,8 @@ class LoadAwareExecutor:
         registry: Optional[KernelRegistry] = None,
         decision_cache: Optional[DecisionCache] = None,
         load_bias: float = 0.75,
+        recovery=None,
+        decision_ttl: Optional[float] = None,
     ):
         if scheme not in SCHEMES:
             raise ServeError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
@@ -90,12 +92,18 @@ class LoadAwareExecutor:
             # Brings up the per-node AS helpers (exactly one client may
             # start them per cluster).
             self._nas = NormalActiveStorageScheme(pfs, registry=self.registry)
+            self._nas.client.recovery = recovery
         elif scheme == "DAS":
             engine = DecisionEngine()
-            self.cache = decision_cache or DecisionCache(engine)
+            self.cache = decision_cache or DecisionCache(
+                engine,
+                ttl=decision_ttl,
+                clock=(lambda: self.env.now) if decision_ttl is not None else None,
+            )
             self.client = ActiveStorageClient(
                 pfs, home=self._home(), engine=engine, registry=self.registry
             )
+            self.client.recovery = recovery
 
         #: In-flight request count per partition; the load signal.
         #: Batched fan-outs count every underlying request, not one.
@@ -104,7 +112,10 @@ class LoadAwareExecutor:
             path: self.monitors.gauge(f"serve.inflight.{path}")
             for path in self._inflight
         }
-        self._file_locks: Dict[str, Resource] = {}
+        #: Per-file reader-writer fence: normal-path and offload reads
+        #: hold the read side; redistribution holds the write side, so a
+        #: move never races an in-flight read over the same strips.
+        self._file_locks: Dict[str, ReadWriteLock] = {}
         #: req_id -> CRC-32 of the request's produced output bytes.
         self.digests: Dict[int, int] = {}
 
@@ -154,10 +165,26 @@ class LoadAwareExecutor:
         self._inflight[path] -= n
         self._gauges[path].adjust(-n)
 
+    def _file_lock(self, file: str) -> ReadWriteLock:
+        lock = self._file_locks.get(file)
+        if lock is None:
+            lock = self._file_locks[file] = ReadWriteLock(self.env)
+        return lock
+
+    def _read_fence(self, file: str):
+        """Claim the read side of ``file``'s fence.  Uncontended grants
+        are synchronous (no event), so fault-free runs where nothing
+        redistributes are event-for-event unchanged; callers must only
+        ``yield`` the claim when it is not already triggered."""
+        return self._file_lock(file).acquire_read()
+
     def _run_normal(self, batch: List[ServeRequest]):
         """Client-side compute (the TS path; also the DAS fallback)."""
         leader = batch[0]
         n = len(batch)
+        claim = self._read_fence(leader.file)
+        if not claim.triggered:
+            yield claim
         self._enter("normal", n)
         self.monitors.counter("serve.path.normal").add(n)
         sink: Dict[str, tuple] = {}
@@ -171,6 +198,7 @@ class LoadAwareExecutor:
             self._record_client_digest(batch, sink)
         finally:
             self._exit("normal", n)
+            claim.release()
         return {"path": "normal", "batched": n}
 
     def _run_nas(self, batch: List[ServeRequest]):
@@ -178,6 +206,9 @@ class LoadAwareExecutor:
         assert self._nas is not None
         leader = batch[0]
         n = len(batch)
+        claim = self._read_fence(leader.file)
+        if not claim.triggered:
+            yield claim
         self._enter("offload", n)
         self.monitors.counter("serve.path.offload").add(n)
         try:
@@ -188,6 +219,7 @@ class LoadAwareExecutor:
         finally:
             self._exit("offload", n)
             self._drop_output(leader.output)
+            claim.release()
         return {"path": "offload", "batched": n}
 
     # -- the DAS serving path ------------------------------------------------
@@ -203,6 +235,12 @@ class LoadAwareExecutor:
         offload = decision.accept and self._prefer_offload(decision)
         if decision.accept and not offload:
             self.monitors.counter("serve.diverted").add(n)
+        if offload and self._file_degraded(meta):
+            # Offload must run where the primary strips live; with any
+            # holder down the file is not offloadable — serve it as
+            # normal I/O (whose reads can fail over to replicas).
+            self.monitors.counter("faults.degraded_decisions").add(n)
+            offload = False
         if offload and decision.redistribute_to is not None:
             decision = yield from self._ensure_layout(leader)
             offload = decision.accept
@@ -211,6 +249,9 @@ class LoadAwareExecutor:
             result["decision"] = decision.outcome
             return result
 
+        claim = self._read_fence(leader.file)
+        if not claim.triggered:
+            yield claim
         self._enter("offload", n)
         self.monitors.counter("serve.path.offload").add(n)
         try:
@@ -228,7 +269,14 @@ class LoadAwareExecutor:
         finally:
             self._exit("offload", n)
             self._drop_output(leader.output)
+            claim.release()
         return {"path": "offload", "decision": decision.outcome, "batched": n}
+
+    def _file_degraded(self, meta) -> bool:
+        """True when any server holding the file's strips is down."""
+        return any(
+            not self.cluster.node(server).is_up for server in meta.layout.servers
+        )
 
     # -- result digests -------------------------------------------------------
     def _record_output_digest(self, batch: List[ServeRequest], output: str) -> None:
@@ -278,10 +326,7 @@ class LoadAwareExecutor:
         for the pre-move geometry.
         """
         assert self.client is not None and self.cache is not None
-        lock = self._file_locks.get(req.file)
-        if lock is None:
-            lock = self._file_locks[req.file] = Resource(self.env, capacity=1)
-        claim = lock.request()
+        claim = self._file_lock(req.file).acquire_write()
         yield claim
         try:
             # Re-consult on fresh metadata: the lock's previous holder
@@ -303,7 +348,7 @@ class LoadAwareExecutor:
                     pipeline_length=req.pipeline_length,
                 )
         finally:
-            claim.cancel()
+            claim.release()
         return decision
 
     # -- output lifecycle ----------------------------------------------------

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..errors import ServeError
+from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..kernels.base import KernelRegistry
+from ..metrics.faults import fault_summary
 from ..pfs.filesystem import ParallelFileSystem
 from ..units import KiB
 from .dispatch import SCHEMES, LoadAwareExecutor
@@ -51,6 +53,15 @@ class ServeConfig:
     #: Max requests sharing one (file, kernel, params) key merged into a
     #: single backend fan-out per dispatch; 1 disables batching.
     batch_max: int = 1
+    #: Optional fault schedule injected during the run.  ``None`` (the
+    #: default) leaves the run event-for-event identical to a build
+    #: without the fault subsystem.
+    faults: Optional[FaultPlan] = None
+    #: Optional recovery policy for the PFS and AS clients (timeouts,
+    #: backoff, hedged reads, replica failover).
+    recovery: Optional[RecoveryPolicy] = None
+    #: Optional TTL (simulated seconds) on cached offload decisions.
+    decision_ttl: Optional[float] = None
 
 
 class ServeSystem:
@@ -68,12 +79,29 @@ class ServeSystem:
         self.cluster = pfs.cluster
         self.config = config
         self.board = SLOBoard(self.cluster.monitors)
+        if config.recovery is not None:
+            pfs.set_recovery(config.recovery)
         self.executor = LoadAwareExecutor(
             pfs,
             scheme=config.scheme,
             registry=registry,
             load_bias=config.load_bias,
+            recovery=config.recovery,
+            decision_ttl=config.decision_ttl,
         )
+        self.injector: Optional[FaultInjector] = None
+        if config.faults is not None and len(config.faults):
+            self.injector = FaultInjector(self.cluster, config.faults, pfs=pfs)
+            if self.executor.cache is not None:
+                cache = self.executor.cache
+
+                def _membership_changed(event) -> None:
+                    # A crash or recovery changes which servers can host
+                    # offloads; cached verdicts predate that knowledge.
+                    if event.kind in ("crash", "recover"):
+                        cache.clear()
+
+                self.injector.on_event(_membership_changed)
         self.scheduler = FairScheduler(
             self.cluster,
             config.tenants,
@@ -101,6 +129,8 @@ class ServeSystem:
         self._ran = True
         env = self.cluster.env
         started = env.now
+        if self.injector is not None:
+            self.injector.start()
         self.workload.start(self.scheduler)
         self.cluster.run()  # to quiescence: all arrivals offered + settled
         elapsed = env.now - started
@@ -157,4 +187,10 @@ class ServeSystem:
                 "evictions": stats.evictions,
                 "invalidations": stats.invalidations,
             }
+            if self.executor.cache.ttl is not None:
+                out["decision_cache"]["expirations"] = stats.expirations
+        if self.config.faults is not None or self.config.recovery is not None:
+            # Only fault-configured runs carry the block; fault-free
+            # summaries are unchanged by the fault subsystem.
+            out["faults"] = fault_summary(monitors, self.injector)
         return out

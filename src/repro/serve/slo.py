@@ -56,6 +56,17 @@ class TenantStats:
     def settled(self) -> int:
         return sum(self.outcomes.values())
 
+    @property
+    def availability(self) -> float:
+        """Fraction of settled requests that finished (possibly late).
+
+        The serving-side availability metric: expired and failed
+        requests are the ones the tenant experienced as unavailability.
+        1.0 when nothing has settled yet.
+        """
+        settled = self.settled
+        return self.finished / settled if settled else 1.0
+
     def latency(self) -> LatencySummary:
         return latency_summary(self.latencies)
 
@@ -147,12 +158,16 @@ class SLOBoard:
                 "rejected": stats.rejected,
                 "retries": stats.retries,
                 "throughput": stats.outcomes[COMPLETED] / elapsed if elapsed else 0.0,
+                "availability": stats.availability,
                 **dict(stats.outcomes),
                 **{f"lat_{k}": v for k, v in lat.row.items()},
             }
         total = latency_summary(all_latencies)
+        all_settled = sum(s.settled for s in self.tenants.values())
+        all_finished = sum(s.finished for s in self.tenants.values())
         out["_all"] = {
             "admitted": self.total_admitted,
+            "availability": all_finished / all_settled if all_settled else 1.0,
             "rejected": sum(s.rejected for s in self.tenants.values()),
             "retries": sum(s.retries for s in self.tenants.values()),
             "throughput": (

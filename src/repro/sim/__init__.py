@@ -12,15 +12,25 @@ Public surface:
 """
 
 from .core import Environment, Process
-from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Timeout,
+    contain_failures,
+)
 from .monitor import Counter, Gauge, MonitorHub, TraceRecord
 from .rand import RandomStreams
 from .resources import (
     Container,
     FilterStore,
     PriorityResource,
+    ReadWriteLock,
     Request,
     Resource,
+    RWClaim,
     Store,
 )
 
@@ -38,10 +48,13 @@ __all__ = [
     "MonitorHub",
     "PriorityResource",
     "Process",
+    "RWClaim",
     "RandomStreams",
+    "ReadWriteLock",
     "Request",
     "Resource",
     "Store",
     "Timeout",
     "TraceRecord",
+    "contain_failures",
 ]

@@ -251,6 +251,35 @@ class Condition(Event):
         return count > 0 or not events
 
 
+def contain_failures(events):
+    """Arm a fan-out so a sibling's failure cannot crash the engine.
+
+    A process joining several events one at a time (``for ev in events:
+    yield ev``) only subscribes to the event it is *currently* waiting
+    on; if a later sibling fails in the meantime, that failed event is
+    processed with no waiter and the environment re-raises its exception
+    out of ``run()``.  This helper appends a defusing callback to every
+    event so an unwaited failure is marked handled — the joiner still
+    sees the exception when its ``yield`` reaches the failed event,
+    because delivery to a waiter is independent of the defused flag.
+
+    Appending callbacks schedules nothing: timing is unchanged, and a
+    fan-out where nothing fails behaves identically.  Returns ``events``
+    so it can wrap the join's iterable in place.
+    """
+
+    def _defuse_if_failed(event: "Event") -> None:
+        if not event._ok:
+            event.defuse()
+
+    for event in events:
+        if event.callbacks is not None:
+            event.callbacks.append(_defuse_if_failed)
+        elif event._ok is False:
+            event.defuse()
+    return events
+
+
 class AllOf(Condition):
     """Succeeds once *all* the given events have succeeded."""
 

@@ -169,3 +169,66 @@ class TestSignatures:
         cache.decide(meta, "flow-routing")
         cache.decide(meta, "flow-routing")
         assert cache.stats.hit_rate == 0.5
+
+
+class TestTTL:
+    """Time-based invalidation: verdicts age out of the cache."""
+
+    def test_ttl_requires_a_clock(self, engine):
+        with pytest.raises(ActiveStorageError):
+            DecisionCache(engine, ttl=1.0)
+
+    def test_ttl_must_be_positive(self, engine):
+        with pytest.raises(ActiveStorageError):
+            DecisionCache(engine, ttl=0.0, clock=lambda: 0.0)
+
+    def test_fresh_entry_hits_within_ttl(self, engine):
+        now = [0.0]
+        cache = DecisionCache(engine, ttl=1.0, clock=lambda: now[0])
+        meta = make_meta()
+        first = cache.decide(meta, "gaussian")
+        now[0] = 0.9
+        assert cache.decide(meta, "gaussian") == first
+        assert cache.stats.hits == 1
+        assert cache.stats.expirations == 0
+
+    def test_stale_entry_expires_and_recomputes(self, engine):
+        now = [0.0]
+        cache = DecisionCache(engine, ttl=1.0, clock=lambda: now[0])
+        meta = make_meta()
+        cache.decide(meta, "gaussian")
+        now[0] = 1.5
+        cache.decide(meta, "gaussian")
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 2  # recomputed, not served stale
+        assert cache.stats.hits == 0
+
+    def test_recompute_restamps_the_entry(self, engine):
+        now = [0.0]
+        cache = DecisionCache(engine, ttl=1.0, clock=lambda: now[0])
+        meta = make_meta()
+        cache.decide(meta, "gaussian")
+        now[0] = 1.5
+        cache.decide(meta, "gaussian")  # expires + restamps at 1.5
+        now[0] = 2.0
+        cache.decide(meta, "gaussian")  # 0.5 old again: a hit
+        assert cache.stats.hits == 1
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_never_expires(self, engine):
+        cache = DecisionCache(engine)
+        meta = make_meta()
+        cache.decide(meta, "gaussian")
+        cache.decide(meta, "gaussian")
+        assert cache.stats.expirations == 0
+        assert cache.stats.hits == 1
+
+    def test_explicit_clear_on_membership_change(self, engine):
+        # The serving layer clears the cache on crash/recover events;
+        # clear() is the hook it uses.
+        cache = DecisionCache(engine, ttl=10.0, clock=lambda: 0.0)
+        meta = make_meta()
+        cache.decide(meta, "gaussian")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the fault injector against a live cluster."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformSpec
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw import Cluster
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=2, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+    return cluster, pfs
+
+
+def run_plan(cluster, plan, pfs=None, until=None, listeners=()):
+    injector = FaultInjector(cluster, plan, pfs=pfs)
+    for listener in listeners:
+        injector.on_event(listener)
+    injector.start()
+    cluster.run(until=until)
+    return injector
+
+
+class TestCrashRecover:
+    def test_crash_brings_node_down_then_recovery_restores_it(self, world):
+        cluster, _ = world
+        plan = FaultPlan.single_crash("s1", at=1.0, recover_at=3.0)
+        injector = FaultInjector(cluster, plan)
+        injector.start()
+        cluster.run(until=cluster.env.timeout(2.0))
+        assert not cluster.node("s1").is_up
+        assert injector.still_down == ["s1"]
+        cluster.run(until=cluster.env.timeout(2.0))
+        assert cluster.node("s1").is_up
+        assert injector.still_down == []
+
+    def test_mttr_measures_the_outage(self, world):
+        cluster, _ = world
+        plan = FaultPlan.single_crash("s1", at=1.0, recover_at=3.5)
+        injector = run_plan(cluster, plan)
+        assert injector.mttr() == pytest.approx(2.5)
+        assert injector.repairs == 1
+        assert cluster.monitors.counter("faults.downtime_seconds").value == (
+            pytest.approx(2.5)
+        )
+
+    def test_counters_booked(self, world):
+        cluster, _ = world
+        injector = run_plan(cluster, FaultPlan.single_crash("s2", 0.5, 1.0))
+        assert cluster.monitors.counter("faults.crashes").value == 1
+        assert cluster.monitors.counter("faults.recoveries").value == 1
+        assert len(injector.applied) == 2
+
+    def test_crash_clears_the_strip_cache(self):
+        # Caching is off by default; give the servers a real budget so
+        # the crash has something to wipe.
+        spec = PlatformSpec(server_cache_bytes=1024 * KiB)
+        cluster = Cluster.build(n_compute=2, n_storage=4, spec=spec)
+        pfs = ParallelFileSystem(cluster, strip_size=4 * KiB)
+        dem = fractal_dem(64, 64, rng=np.random.default_rng(5))
+        pfs.client("c0").ingest("dem", dem, pfs.round_robin())
+
+        def warm():
+            yield pfs.client("c0").read("dem", 0, 4096)
+
+        cluster.run(until=cluster.env.process(warm()))
+        assert len(pfs.servers["s0"].cache) > 0
+        run_plan(cluster, FaultPlan.single_crash("s0", at=0.1), pfs=pfs)
+        assert len(pfs.servers["s0"].cache) == 0
+
+    def test_double_crash_of_same_node_counts_once(self, world):
+        cluster, _ = world
+        plan = FaultPlan.from_events(
+            [
+                e
+                for at in (1.0, 2.0)
+                for e in FaultPlan.single_crash("s1", at=at).events
+            ]
+        )
+        run_plan(cluster, plan)
+        assert cluster.monitors.counter("faults.crashes").value == 1
+
+
+class TestOtherKinds:
+    def test_slow_and_restore_scale_the_disk(self, world):
+        cluster, _ = world
+        disk = cluster.node("s2").disk
+        injector = FaultInjector(cluster, FaultPlan.parse("slow:s2@1x0.25"))
+        injector.start()
+        cluster.run(until=cluster.env.timeout(2.0))
+        assert disk.health == pytest.approx(0.25)
+        run_plan(cluster, FaultPlan.parse("restore:s2@0.1"))
+        assert disk.health == pytest.approx(1.0)
+
+    def test_cut_and_heal_toggle_the_link(self, world):
+        cluster, _ = world
+        run_plan(cluster, FaultPlan.parse("cut:c0-s3@0.5"))
+        assert not cluster.fabric.link_up("c0", "s3")
+        assert not cluster.fabric.link_up("s3", "c0")
+        run_plan(cluster, FaultPlan.parse("heal:c0-s3@0.1"))
+        assert cluster.fabric.link_up("c0", "s3")
+
+
+class TestWiring:
+    def test_listener_sees_each_applied_event(self, world):
+        cluster, _ = world
+        seen = []
+        run_plan(
+            cluster,
+            FaultPlan.single_crash("s1", 1.0, 2.0),
+            listeners=[lambda e: seen.append((e.kind, e.target))],
+        )
+        assert seen == [("crash", "s1"), ("recover", "s1")]
+
+    def test_empty_plan_is_a_no_op(self, world):
+        cluster, _ = world
+        injector = FaultInjector(cluster, FaultPlan())
+        assert injector.start() is None
+        cluster.run()
+        assert injector.applied == []
+
+    def test_injector_runs_once(self, world):
+        cluster, _ = world
+        injector = FaultInjector(cluster, FaultPlan.single_crash("s1", 1.0))
+        injector.start()
+        with pytest.raises(FaultError):
+            injector.start()
+
+    def test_mttr_zero_without_repairs(self, world):
+        cluster, _ = world
+        injector = run_plan(cluster, FaultPlan.single_crash("s1", 1.0))
+        assert injector.mttr() == 0.0
+        assert injector.still_down == ["s1"]

@@ -1,0 +1,193 @@
+"""Fault-tolerant read path: timeouts, backoff, failover, hedging.
+
+With ``client.recovery = None`` (the default) none of this code runs;
+those paths are pinned by the rest of the suite.  These tests attach a
+:class:`RecoveryPolicy` and exercise each recovery mechanism alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeDownError
+from repro.faults import RecoveryPolicy
+from repro.hw import Cluster
+from repro.pfs import ParallelFileSystem
+from repro.units import KiB
+from repro.workloads import fractal_dem
+
+STRIP = 4 * KiB
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster.build(n_compute=1, n_storage=4)
+    pfs = ParallelFileSystem(cluster, strip_size=STRIP)
+    dem = fractal_dem(64, 64, rng=np.random.default_rng(11))  # 8 strips
+    return cluster, pfs, dem
+
+
+def read_all(cluster, client, name, nbytes):
+    def main():
+        return (yield client.read(name, 0, nbytes))
+
+    proc = cluster.env.process(main())
+    cluster.run(until=proc)
+    return proc.value
+
+
+def counter(cluster, name):
+    return cluster.monitors.counter(f"faults.{name}").value
+
+
+def crash_midflight(cluster, node, at):
+    """Crash ``node`` at sim time ``at`` — while an RPC is in flight."""
+
+    def proc():
+        yield cluster.env.timeout(at)
+        cluster.node(node).fail()
+
+    cluster.env.process(proc())
+
+
+class TestFaultFree:
+    def test_ft_read_returns_the_same_bytes(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.round_robin())
+        client.recovery = RecoveryPolicy()
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        assert counter(cluster, "failover_reads") == 0
+        assert counter(cluster, "rpc_timeouts") == 0
+
+    def test_set_recovery_reaches_existing_and_future_clients(self, world):
+        _, pfs, _ = world
+        early = pfs.client("c0")
+        policy = RecoveryPolicy()
+        pfs.set_recovery(policy)
+        late = pfs.client("s0")
+        assert early.recovery is policy and late.recovery is policy
+        pfs.set_recovery(None)
+        assert early.recovery is None
+
+
+class TestFailover:
+    def test_read_fails_over_to_replica_when_primary_is_down(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        # group=2, halo=2: every strip replicated onto both neighbours.
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(backoff=0.0)
+        cluster.node("s1").fail()
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        assert counter(cluster, "failover_reads") > 0
+
+    def test_crashed_at_rest_unreplicated_fails_at_planning(self, world):
+        # A server that is already down when the read is planned is
+        # detected for free: no RPC is issued, no retries are burned.
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.round_robin())
+        client.recovery = RecoveryPolicy(max_attempts=2, backoff=0.0)
+        cluster.node("s1").fail()
+
+        def main():
+            yield client.read("dem", 0, dem.nbytes)
+
+        proc = cluster.env.process(main())
+        with pytest.raises(NodeDownError):
+            cluster.run(until=proc)
+        assert counter(cluster, "retries") == 0
+
+    def test_midflight_crash_is_retried_then_raises(self, world):
+        # The server dies *after* planning, mid-RPC: the attempt fails
+        # in flight, is retried, and only then declared unreachable.
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.round_robin())
+        client.recovery = RecoveryPolicy(
+            rpc_timeout=0.05, max_attempts=2, backoff=0.0
+        )
+        cluster.node("s1").disk.degrade(0.001)  # stretch the RPC
+        crash_midflight(cluster, "s1", 0.005)
+
+        def main():
+            yield client.read("dem", 0, dem.nbytes)
+
+        proc = cluster.env.process(main())
+        with pytest.raises(NodeDownError):
+            cluster.run(until=proc)
+        assert counter(cluster, "retries") >= 1
+
+    def test_backoff_delays_the_retry(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(
+            rpc_timeout=0.05, max_attempts=2, backoff=0.5
+        )
+        cluster.node("s1").disk.degrade(0.001)  # stretch the RPC
+        crash_midflight(cluster, "s1", 0.005)
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        # One in-flight failure + one 0.5 s backoff before the second
+        # attempt fails fast and the group fails over to replicas.
+        assert counter(cluster, "retries") >= 1
+        assert cluster.env.now >= 0.5
+
+    def test_double_fault_with_full_replication_still_fails(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(backoff=0.0)
+        # halo=2 replicas live on the two neighbours; kill all three.
+        cluster.node("s0").fail()
+        cluster.node("s1").fail()
+        cluster.node("s2").fail()
+
+        def main():
+            yield client.read("dem", 0, dem.nbytes)
+
+        proc = cluster.env.process(main())
+        with pytest.raises(NodeDownError):
+            cluster.run(until=proc)
+
+
+class TestTimeoutsAndHedging:
+    def test_slow_primary_times_out_then_fails_over(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(
+            rpc_timeout=0.01, max_attempts=1, backoff=0.0
+        )
+        # One primary far below the timeout threshold; its replicas are
+        # healthy, so the timed-out group fails over and completes.
+        cluster.node("s1").disk.degrade(0.001)
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        assert counter(cluster, "rpc_timeouts") > 0
+
+    def test_hedged_read_wins_against_a_slow_primary(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(
+            rpc_timeout=60.0, max_attempts=1, backoff=0.0, hedge_delay=0.02
+        )
+        cluster.node("s1").disk.degrade(0.0005)  # only one slow server
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        assert counter(cluster, "hedged_reads") > 0
+        assert counter(cluster, "hedge_wins") > 0
+
+    def test_no_hedge_without_hedge_delay(self, world):
+        cluster, pfs, dem = world
+        client = pfs.client("c0")
+        client.ingest("dem", dem, pfs.replicated_grouped(group=2, halo_strips=2))
+        client.recovery = RecoveryPolicy(rpc_timeout=60.0, hedge_delay=None)
+        cluster.node("s1").disk.degrade(0.01)
+        got = read_all(cluster, client, "dem", dem.nbytes)
+        assert np.array_equal(got, dem.view(np.uint8).reshape(-1))
+        assert counter(cluster, "hedged_reads") == 0

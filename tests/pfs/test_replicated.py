@@ -98,3 +98,46 @@ def test_zero_halo_behaves_like_grouped():
     for strip in range(16):
         assert len(layout.replicas(strip)) == 1
     assert layout.capacity_overhead() == 0.0
+
+
+class TestReplicasEdgeCases:
+    """The failover plane leans on ``replicas()``; pin its corners."""
+
+    def test_group_zero_head_has_no_previous_neighbour(self, layout):
+        # Strip 0 is the head of group 0: there is no previous group, so
+        # the only extra copy is none at all (tail rule doesn't apply).
+        assert layout.replicas(0) == ["s0"]
+
+    def test_last_group_tail_wraps_to_server_zero(self):
+        # 16 strips, r=4 on 4 servers: group 3 lives on s3 and its tail
+        # strip 15 is replicated on the *next* group's server, which
+        # wraps around to s0.
+        layout = ReplicatedGroupedLayout(SERVERS, 1024, group=4, halo_strips=1)
+        assert layout.replicas(15) == ["s3", "s0"]
+
+    def test_zero_halo_never_replicates(self):
+        layout = ReplicatedGroupedLayout(SERVERS, 1024, group=4, halo_strips=0)
+        assert layout.replicas(0) == ["s0"]
+        assert layout.replicas(15) == ["s3"]
+
+    def test_halo_equal_to_group_replicates_every_strip(self):
+        # halo == group: each whole group is mirrored onto both
+        # neighbours; every strip has at least one extra copy, so any
+        # single-server crash is survivable.
+        layout = ReplicatedGroupedLayout(SERVERS, 1024, group=4, halo_strips=4)
+        for strip in range(16):
+            replicas = layout.replicas(strip)
+            assert replicas[0] == layout.primary_server(strip)
+            assert len(replicas) >= 2
+            assert len(set(replicas)) == len(replicas)
+        # Interior group: mirrored both ways.
+        assert layout.replicas(5) == ["s1", "s0", "s2"]
+        # Group 0 has no previous group; only the next-server mirror.
+        assert layout.replicas(1) == ["s0", "s1"]
+        assert layout.capacity_overhead() == 2.0
+
+    def test_single_group_halo_equal_group_self_pair(self):
+        # Degenerate single-server layout: prev/next collapse onto the
+        # primary itself and are deduplicated.
+        layout = ReplicatedGroupedLayout(["s0"], 1024, group=4, halo_strips=4)
+        assert layout.replicas(2) == ["s0"]

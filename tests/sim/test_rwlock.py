@@ -1,0 +1,174 @@
+"""Unit tests for the shared-reader / exclusive-writer lock."""
+
+from repro.sim import Environment, ReadWriteLock
+
+
+def drain(env):
+    env.run()
+
+
+class TestSyncGrant:
+    def test_uncontended_read_granted_synchronously(self, env):
+        lock = ReadWriteLock(env)
+        before = len(env._queue)
+        claim = lock.acquire_read()
+        assert claim.triggered
+        # The fast path schedules nothing: fencing a hot read path is free.
+        assert len(env._queue) == before
+        assert lock.readers == 1
+        claim.release()
+        assert lock.readers == 0
+
+    def test_many_concurrent_readers(self, env):
+        lock = ReadWriteLock(env)
+        claims = [lock.acquire_read() for _ in range(5)]
+        assert all(c.triggered for c in claims)
+        assert lock.readers == 5
+        for c in claims:
+            c.release()
+        assert lock.readers == 0
+
+    def test_write_grant_goes_through_an_event(self, env):
+        lock = ReadWriteLock(env)
+        claim = lock.acquire_write()
+        got = []
+
+        def writer():
+            yield claim
+            got.append(env.now)
+            claim.release()
+
+        env.process(writer())
+        drain(env)
+        assert got == [0]
+        assert not lock.write_locked
+
+
+class TestExclusion:
+    def test_writer_waits_for_readers(self, env):
+        lock = ReadWriteLock(env)
+        log = []
+
+        def reader():
+            claim = lock.acquire_read()
+            if not claim.triggered:
+                yield claim
+            log.append(("r-in", env.now))
+            yield env.timeout(2)
+            log.append(("r-out", env.now))
+            claim.release()
+
+        def writer():
+            yield env.timeout(1)  # arrive while the reader holds the lock
+            claim = lock.acquire_write()
+            yield claim
+            log.append(("w-in", env.now))
+            claim.release()
+
+        env.process(reader())
+        env.process(writer())
+        drain(env)
+        assert log == [("r-in", 0), ("r-out", 2), ("w-in", 2)]
+
+    def test_readers_wait_for_writer(self, env):
+        lock = ReadWriteLock(env)
+        log = []
+
+        def writer():
+            claim = lock.acquire_write()
+            yield claim
+            log.append(("w-in", env.now))
+            yield env.timeout(3)
+            claim.release()
+            log.append(("w-out", env.now))
+
+        def reader(name):
+            yield env.timeout(1)
+            claim = lock.acquire_read()
+            if not claim.triggered:
+                yield claim
+            log.append((name, env.now))
+            claim.release()
+
+        env.process(writer())
+        env.process(reader("r1"))
+        env.process(reader("r2"))
+        drain(env)
+        assert log == [("w-in", 0), ("w-out", 3), ("r1", 3), ("r2", 3)]
+
+    def test_writer_queued_blocks_later_readers(self, env):
+        # FIFO: r1 holds, w queues, r2 arrives later -> r2 waits for w
+        # (no writer starvation).
+        lock = ReadWriteLock(env)
+        log = []
+
+        def r1():
+            claim = lock.acquire_read()
+            if not claim.triggered:
+                yield claim
+            yield env.timeout(2)
+            claim.release()
+            log.append(("r1-out", env.now))
+
+        def w():
+            yield env.timeout(1)
+            claim = lock.acquire_write()
+            yield claim
+            log.append(("w-in", env.now))
+            yield env.timeout(2)
+            claim.release()
+
+        def r2():
+            yield env.timeout(1.5)
+            claim = lock.acquire_read()
+            if not claim.triggered:
+                yield claim
+            log.append(("r2-in", env.now))
+            claim.release()
+
+        env.process(r1())
+        env.process(w())
+        env.process(r2())
+        drain(env)
+        assert log == [("r1-out", 2), ("w-in", 2), ("r2-in", 4)]
+
+    def test_readers_behind_writer_granted_together(self, env):
+        lock = ReadWriteLock(env)
+        entered = []
+
+        def w():
+            claim = lock.acquire_write()
+            yield claim
+            yield env.timeout(1)
+            claim.release()
+
+        def r(name):
+            yield env.timeout(0.5)
+            claim = lock.acquire_read()
+            if not claim.triggered:
+                yield claim
+            entered.append((name, env.now))
+            yield env.timeout(1)
+            claim.release()
+
+        env.process(w())
+        for name in ("a", "b", "c"):
+            env.process(r(name))
+        drain(env)
+        assert entered == [("a", 1), ("b", 1), ("c", 1)]
+
+    def test_back_to_back_writers_serialise(self, env):
+        lock = ReadWriteLock(env)
+        held = []
+
+        def w(name):
+            claim = lock.acquire_write()
+            yield claim
+            held.append((name, env.now))
+            yield env.timeout(1)
+            claim.release()
+
+        env.process(w("w1"))
+        env.process(w("w2"))
+        drain(env)
+        assert held == [("w1", 0), ("w2", 1)]
