@@ -414,6 +414,7 @@ def ext_oversub(
     )
 
 
+from .autoscale_bench import autoscale_bench  # noqa: E402  (needs ExperimentReport above)
 from .chaos_bench import chaos_bench  # noqa: E402  (needs ExperimentReport above)
 from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
 
@@ -428,6 +429,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "ext-oversub": ext_oversub,
     "serve-bench": serve_bench,
     "chaos-bench": chaos_bench,
+    "autoscale-bench": autoscale_bench,
 }
 
 

@@ -8,9 +8,11 @@ of re-deriving them from logs.
 
 The serve-bench goes to :data:`SERVE_BENCH_FILE`; the paper regenerators
 (table1, fig10–14, ext-oversub) are folded into :data:`PAPER_BENCH_FILE`;
-the chaos-bench goes to :data:`FAULTS_BENCH_FILE`.
+the chaos-bench goes to :data:`FAULTS_BENCH_FILE`; the autoscale-bench
+goes to :data:`AUTOSCALE_BENCH_FILE`.
 Baselines live under ``benchmarks/`` in the repo; CI regenerates the
-serve file at reduced scale and uploads it as an artifact.
+serve file at reduced scale and uploads it as an artifact.  The payload
+shape is documented in docs/BENCHMARKS.md.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from .experiments import ExperimentReport
 SERVE_BENCH_FILE = "BENCH_serve.json"
 PAPER_BENCH_FILE = "BENCH_paper.json"
 FAULTS_BENCH_FILE = "BENCH_faults.json"
+AUTOSCALE_BENCH_FILE = "BENCH_autoscale.json"
 
 #: Experiments recorded into BENCH_paper.json.
 PAPER_EXPERIMENTS = (
@@ -98,6 +101,11 @@ def write_trajectory(
             FAULTS_BENCH_FILE,
             "faults",
             [(r, w) for r, w in entries if r.experiment == "chaos-bench"],
+        ),
+        (
+            AUTOSCALE_BENCH_FILE,
+            "autoscale",
+            [(r, w) for r, w in entries if r.experiment == "autoscale-bench"],
         ),
     )
     written: List[Path] = []

@@ -1,17 +1,20 @@
 """Measurement utilities: traffic accounting, statistics, reporting."""
 
 from .accounting import TrafficDelta, TrafficMeter, sustained_bandwidth
+from .autoscale import AUTOSCALE_COUNTERS, autoscale_summary
 from .faults import FAULT_COUNTERS, fault_summary
 from .report import format_checks, format_latency_table, format_series, format_table
 from .stats import LatencySummary, latency_summary, percentile
 from .timeline import Timeline, render_gantt, utilization_table
 
 __all__ = [
+    "AUTOSCALE_COUNTERS",
     "FAULT_COUNTERS",
     "LatencySummary",
     "Timeline",
     "TrafficDelta",
     "TrafficMeter",
+    "autoscale_summary",
     "fault_summary",
     "format_checks",
     "format_latency_table",

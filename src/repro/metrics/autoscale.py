@@ -1,0 +1,55 @@
+"""Measurement plane of the autoscale controller: roll up ``autoscale.*``.
+
+Everything the controller does — ticks, breach observations, cooldown
+holds, committed resizes and the bytes they moved — is booked into
+monitor counters as it happens; :func:`autoscale_summary` condenses
+them into one deterministic dict for serving summaries and the
+autoscale bench, mirroring :func:`repro.metrics.faults.fault_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.monitor import MonitorHub
+
+#: Integer event tallies booked under ``autoscale.<name>``.
+AUTOSCALE_COUNTERS = (
+    "ticks",
+    "breaches",
+    "cooldown_holds",
+    "scale_ups",
+    "scale_downs",
+)
+
+
+def autoscale_summary(monitors: MonitorHub, controller=None) -> Dict[str, object]:
+    """Controller tallies plus the committed action log.
+
+    ``controller`` is an optional
+    :class:`~repro.serve.autoscale.AutoscaleController`; with one, the
+    summary includes the final partition size, the clamp, and every
+    committed resize (time, direction, sizes, bytes moved).
+    """
+    out: Dict[str, object] = {
+        name: int(monitors.counter(f"autoscale.{name}").value)
+        for name in AUTOSCALE_COUNTERS
+    }
+    out["moved_bytes"] = int(monitors.counter("autoscale.moved_bytes").value)
+    if controller is not None:
+        out["active"] = controller.active
+        out["clamp"] = [
+            controller.policy.min_servers,
+            controller.policy.max_servers,
+        ]
+        out["actions"] = [
+            {
+                "at": round(a.at, 6),
+                "direction": a.direction,
+                "from": a.from_servers,
+                "to": a.to_servers,
+                "moved_bytes": a.moved_bytes,
+            }
+            for a in controller.actions
+        ]
+    return out

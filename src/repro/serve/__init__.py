@@ -6,14 +6,27 @@ requests, an admission controller sheds what bounded queues cannot
 hold, a deficit-weighted-round-robin scheduler dispatches fairly, a
 load-aware executor chooses offload vs. normal I/O per request (through
 a decision cache), and an SLO board accounts every admitted request
-into exactly one terminal outcome with per-tenant tail latencies.
+into exactly one terminal outcome with per-tenant tail latencies.  An
+optional SLO-driven autoscale controller watches a sliding latency
+window and resizes the storage partition by redistribution under the
+same per-file fencing the executor uses.
 """
 
+from .autoscale import AutoscaleAction, AutoscaleController, AutoscalePolicy, scaled_layout
 from .batch import BatchStats, batch_key, merge_window
 from .dispatch import SCHEMES, LoadAwareExecutor
 from .scheduler import FairScheduler, RetryPolicy
 from .service import ServeConfig, ServeSystem
-from .slo import COMPLETED, EXPIRED, FAILED, LATE, OUTCOMES, SLOBoard, TenantStats
+from .slo import (
+    COMPLETED,
+    EXPIRED,
+    FAILED,
+    LATE,
+    OUTCOMES,
+    SLOBoard,
+    SLOWindow,
+    TenantStats,
+)
 from .workload import OpenLoopWorkload, ServeRequest, TenantSpec
 
 __all__ = [
@@ -22,6 +35,9 @@ __all__ = [
     "FAILED",
     "LATE",
     "OUTCOMES",
+    "AutoscaleAction",
+    "AutoscaleController",
+    "AutoscalePolicy",
     "BatchStats",
     "FairScheduler",
     "LoadAwareExecutor",
@@ -29,6 +45,7 @@ __all__ = [
     "RetryPolicy",
     "SCHEMES",
     "SLOBoard",
+    "SLOWindow",
     "ServeConfig",
     "ServeRequest",
     "ServeSystem",
@@ -36,4 +53,5 @@ __all__ = [
     "TenantStats",
     "batch_key",
     "merge_window",
+    "scaled_layout",
 ]

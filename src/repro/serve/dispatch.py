@@ -178,6 +178,13 @@ class LoadAwareExecutor:
         ``yield`` the claim when it is not already triggered."""
         return self._file_lock(file).acquire_read()
 
+    def write_fence(self, file: str):
+        """Claim the write side of ``file``'s fence — the same lock the
+        serving reads hold.  Redistribution (load-driven here, or
+        partition resizes from the autoscale controller) must run under
+        this claim so a move never races an in-flight read."""
+        return self._file_lock(file).acquire_write()
+
     def _run_normal(self, batch: List[ServeRequest]):
         """Client-side compute (the TS path; also the DAS fallback)."""
         leader = batch[0]
@@ -326,7 +333,7 @@ class LoadAwareExecutor:
         for the pre-move geometry.
         """
         assert self.client is not None and self.cache is not None
-        claim = self._file_lock(req.file).acquire_write()
+        claim = self.write_fence(req.file)
         yield claim
         try:
             # Re-consult on fresh metadata: the lock's previous holder

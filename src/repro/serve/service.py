@@ -22,9 +22,11 @@ from typing import Dict, Optional, Tuple
 from ..errors import ServeError
 from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..kernels.base import KernelRegistry
+from ..metrics.autoscale import autoscale_summary
 from ..metrics.faults import fault_summary
 from ..pfs.filesystem import ParallelFileSystem
 from ..units import KiB
+from .autoscale import AutoscaleController, AutoscalePolicy
 from .dispatch import SCHEMES, LoadAwareExecutor
 from .scheduler import FairScheduler, RetryPolicy
 from .slo import SLOBoard
@@ -62,6 +64,13 @@ class ServeConfig:
     recovery: Optional[RecoveryPolicy] = None
     #: Optional TTL (simulated seconds) on cached offload decisions.
     decision_ttl: Optional[float] = None
+    #: Optional piecewise-constant offered-load ramp ((t, multiplier), ...)
+    #: applied on top of ``load`` (see OpenLoopWorkload).
+    ramp: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Optional SLO-driven partition autoscaling.  ``None`` (the
+    #: default) leaves the run event-for-event identical to a build
+    #: without the autoscale subsystem.
+    autoscale: Optional[AutoscalePolicy] = None
 
 
 class ServeSystem:
@@ -119,7 +128,20 @@ class ServeSystem:
             duration=config.duration,
             deadline=config.deadline,
             load=config.load,
+            ramp=config.ramp,
         )
+        self.autoscaler: Optional[AutoscaleController] = None
+        if config.autoscale is not None:
+            files = sorted({f for t in config.tenants for f in t.files})
+            self.autoscaler = AutoscaleController(
+                pfs,
+                self.executor,
+                self.scheduler,
+                self.board,
+                config.autoscale,
+                files=files,
+                duration=config.duration,
+            )
         self._ran = False
 
     def run(self) -> Dict[str, object]:
@@ -131,6 +153,8 @@ class ServeSystem:
         started = env.now
         if self.injector is not None:
             self.injector.start()
+        if self.autoscaler is not None:
+            self.autoscaler.start()
         self.workload.start(self.scheduler)
         self.cluster.run()  # to quiescence: all arrivals offered + settled
         elapsed = env.now - started
@@ -193,4 +217,8 @@ class ServeSystem:
             # Only fault-configured runs carry the block; fault-free
             # summaries are unchanged by the fault subsystem.
             out["faults"] = fault_summary(monitors, self.injector)
+        if self.config.autoscale is not None:
+            # As with faults: only autoscale-configured runs carry the
+            # block, so static summaries stay bit-identical.
+            out["autoscale"] = autoscale_summary(monitors, self.autoscaler)
         return out

@@ -18,11 +18,12 @@ statistics.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..errors import ServeError
-from ..metrics.stats import LatencySummary, latency_summary
+from ..metrics.stats import LatencySummary, latency_summary, percentile
 from ..sim.monitor import MonitorHub
 from .workload import ServeRequest
 
@@ -71,12 +72,81 @@ class TenantStats:
         return latency_summary(self.latencies)
 
 
+class SLOWindow:
+    """Sliding window of finish-time-stamped latencies.
+
+    The autoscale controller acts on *recent* tail latency, not the
+    run-cumulative percentiles the summary reports: a breach ten
+    simulated minutes ago must not trigger a scale-up now.  Samples are
+    ``(finish_time, latency)`` pairs; finish times arrive monotonically
+    non-decreasing (settlement happens at the simulated now), so pruning
+    is a popleft scan.
+
+    Window math the controller triggers on, pinned by unit tests:
+
+    * an empty window reports ``count == 0`` and ``p99 == 0.0`` — the
+      caller must treat that as *no signal*, never as a healthy 0 ms;
+    * a single sample IS the p99 (nearest-rank percentiles);
+    * only samples with ``finish > now - horizon`` are visible, so a
+      burst of slow finishes ages out ``horizon`` seconds later.
+    """
+
+    def __init__(self, horizon: float):
+        if horizon <= 0:
+            raise ServeError(f"window horizon must be positive, got {horizon!r}")
+        self.horizon = float(horizon)
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def record(self, finish: float, latency: float) -> None:
+        if self._samples and finish < self._samples[-1][0]:
+            raise ServeError(
+                f"window samples must arrive in time order"
+                f" ({finish!r} after {self._samples[-1][0]!r})"
+            )
+        self._samples.append((finish, latency))
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.horizon
+        while self._samples and self._samples[0][0] <= cutoff:
+            self._samples.popleft()
+
+    def latencies(self, now: float) -> List[float]:
+        """Latencies of requests that finished within the horizon."""
+        self._prune(now)
+        return [lat for _, lat in self._samples]
+
+    def count(self, now: float) -> int:
+        self._prune(now)
+        return len(self._samples)
+
+    def p99(self, now: float) -> float:
+        """Nearest-rank p99 over the window; 0.0 when it is empty."""
+        return percentile(sorted(self.latencies(now)), 99)
+
+    def summary(self, now: float) -> LatencySummary:
+        return latency_summary(self.latencies(now))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
 class SLOBoard:
     """Exactly-once outcome ledger + per-tenant latency accounting."""
 
-    def __init__(self, monitors: Optional[MonitorHub] = None):
+    #: Default sliding-window horizon (simulated seconds) for the
+    #: controller-facing signal.
+    WINDOW_HORIZON = 2.0
+
+    def __init__(
+        self,
+        monitors: Optional[MonitorHub] = None,
+        window_horizon: float = WINDOW_HORIZON,
+    ):
         self.monitors = monitors
         self.tenants: Dict[str, TenantStats] = {}
+        #: Sliding window over finished-request latencies (completed and
+        #: late alike): the signal the autoscale controller watches.
+        self.window = SLOWindow(window_horizon)
         #: req_id -> terminal outcome; the conservation ledger.
         self._settled: Dict[int, str] = {}
         self._admitted: Dict[int, str] = {}  # req_id -> tenant
@@ -126,6 +196,7 @@ class SLOBoard:
         stats.outcomes[outcome] += 1
         if outcome in (COMPLETED, LATE):
             stats.latencies.append(req.latency())
+            self.window.record(req.finished, req.latency())
         self._count(outcome)
 
     # -- invariants ------------------------------------------------------------

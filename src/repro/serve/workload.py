@@ -89,6 +89,14 @@ class OpenLoopWorkload:
 
     ``sink`` is anything with a ``submit(request) -> bool`` method (the
     admission controller); the generator does not wait for completions.
+
+    ``ramp`` optionally shapes the offered load over time as a
+    piecewise-constant multiplier: ``((t0, m0), (t1, m1), ...)`` applies
+    multiplier ``m_i`` from simulated time ``t_i`` until the next phase
+    starts (1.0 before ``t0``).  The multiplier in force when a gap is
+    drawn governs that gap — a phase change takes effect from the next
+    arrival.  With ``ramp=None`` the arrival draws are identical to a
+    build without the ramp feature.
     """
 
     def __init__(
@@ -98,6 +106,7 @@ class OpenLoopWorkload:
         duration: float,
         deadline: float,
         load: float = 1.0,
+        ramp: Optional[Tuple[Tuple[float, float], ...]] = None,
     ):
         if not tenants:
             raise ServeError("workload needs at least one tenant")
@@ -105,14 +114,33 @@ class OpenLoopWorkload:
             raise ServeError("tenant names must be unique")
         if duration <= 0 or deadline <= 0 or load <= 0:
             raise ServeError("duration, deadline and load must be positive")
+        if ramp is not None:
+            times = [t for t, _ in ramp]
+            if times != sorted(times):
+                raise ServeError("ramp phases must be in ascending time order")
+            if any(m <= 0 for _, m in ramp):
+                raise ServeError("ramp multipliers must be positive")
         self.cluster = cluster
         self.tenants = tuple(tenants)
         self.duration = float(duration)
         self.deadline = float(deadline)
         self.load = float(load)
+        self.ramp = tuple((float(t), float(m)) for t, m in ramp) if ramp else None
         self._next_id = 0
         #: Requests handed to the sink, in submission order.
         self.generated = 0
+
+    def multiplier(self, now: float) -> float:
+        """The ramp multiplier in force at simulated time ``now``."""
+        if self.ramp is None:
+            return 1.0
+        current = 1.0
+        for start, m in self.ramp:
+            if now >= start:
+                current = m
+            else:
+                break
+        return current
 
     def start(self, sink) -> list:
         """Spawn one arrival process per tenant; returns the processes."""
@@ -127,7 +155,7 @@ class OpenLoopWorkload:
         rng = self.cluster.rand.stream(f"{STREAM_PREFIX}{tenant.name}")
         rate = tenant.rate * self.load
         while True:
-            gap = rng.exponential(1.0 / rate)
+            gap = rng.exponential(1.0 / (rate * self.multiplier(env.now)))
             if env.now + gap >= self.duration:
                 return
             yield env.timeout(gap)

@@ -1,0 +1,133 @@
+"""The docs-consistency checker CI runs (scripts/check_docs.py).
+
+The script is stdlib-only and lives outside the package, so load it by
+path.  Coverage: GitHub slug rules, anchor extraction, link checking
+(files and anchors), and the two ways a document can pin a flag on the
+harness (fenced invocations with continuations, inline code spans).
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "check_docs.py"
+
+spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestSlug:
+    @pytest.mark.parametrize(
+        "heading,slug",
+        [
+            ("# Plain Title", "plain-title"),
+            ("## Reading the SLO board", "reading-the-slo-board"),
+            ("### `autoscale` rows (one per deployment cell)",
+             "autoscale-rows-one-per-deployment-cell"),
+            ("## Faults and failover (`repro.faults`)",
+             "faults-and-failover-reprofaults"),
+        ],
+    )
+    def test_github_slugs(self, heading, slug):
+        assert check_docs.github_slug(heading) == slug
+
+
+class TestAnchors:
+    def test_extracts_headings_outside_fences(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "# Top\n\n```bash\n# a comment, not a heading\n```\n\n## Sub One\n"
+        )
+        assert check_docs.heading_anchors(doc) == {"top", "sub-one"}
+
+
+class TestLinks:
+    def test_clean_doc_passes(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Other Page\n")
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "see [o](other.md), [a](other.md#other-page),"
+            " [w](https://example.com)\n"
+        )
+        assert check_docs.check_links(doc) == []
+
+    def test_missing_file_reported(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("see [x](missing.md)\n")
+        problems = check_docs.check_links(doc)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_bad_anchor_reported(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Other Page\n")
+        doc = tmp_path / "d.md"
+        doc.write_text("see [x](other.md#nope)\n")
+        problems = check_docs.check_links(doc)
+        assert len(problems) == 1 and "#nope" in problems[0]
+
+    def test_same_file_anchor(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Here\n\njump [down](#here), not [up](#gone)\n")
+        problems = check_docs.check_links(doc)
+        assert len(problems) == 1 and "#gone" in problems[0]
+
+    def test_links_inside_fences_ignored(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("```\n[x](missing.md)\n```\n")
+        assert check_docs.check_links(doc) == []
+
+
+class TestFlags:
+    def test_harness_commands_yield_flags(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```bash\npython -m repro.harness serve-bench --batch-max 8\n"
+            "pytest tests/ --quiet\n```\n"
+        )
+        flags = [f for _, f, _ in check_docs.documented_flags(doc)]
+        # pytest's flag is not attributed to the harness.
+        assert flags == ["--batch-max"]
+
+    def test_continuation_lines_followed(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```bash\npython -m repro.harness chaos-bench \\\n"
+            "    --chaos-spec 'crash:s1@1.0' --bench-dir out\n```\n"
+        )
+        flags = [f for _, f, _ in check_docs.documented_flags(doc)]
+        assert flags == ["--chaos-spec", "--bench-dir"]
+
+    def test_inline_spans_yield_flags(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("pass `--batch-max N`; `not a flag`; `x --inner`\n")
+        flags = [f for _, f, _ in check_docs.documented_flags(doc)]
+        # Only spans that *start* with a flag count.
+        assert flags == ["--batch-max"]
+
+    def test_foreign_flags_skipped(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("pip wants `--no-build-isolation` here\n")
+        assert check_docs.documented_flags(doc) == []
+
+    def test_unknown_flag_fails_check(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("```\npython -m repro.harness all --bogus\n```\n")
+        problems = check_docs.check_flags(doc, {"--scale-kb"})
+        assert len(problems) == 1 and "--bogus" in problems[0]
+
+    def test_real_parser_knows_the_real_flags(self):
+        known = check_docs.harness_flags()
+        assert {"--scale-kb", "--bench-dir", "--chaos-spec", "--batch-max"} <= known
+
+
+class TestEndToEnd:
+    def test_repo_docs_are_clean(self):
+        """The committed documents must pass their own checker."""
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT)], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
