@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Counter-catalog checker: every runtime metric is declared and documented.
+
+Run from the repository root (the docs-consistency CI job runs it on
+every push; needs numpy, unlike ``check_docs.py``)::
+
+    python scripts/check_counters.py
+
+The check drives two short but *maximally messy* serving runs — a DAS
+chaos storm (crash + slow disk + link cut, recovery armed, batching on)
+and an autoscale cell (resize up and down) — so that every subsystem
+books its counters and gauges: admission, DWRR, batching, the decision
+cache, wire accounting, device busy-time, the strip caches, the fault
+plane, and the autoscale controller.  Then it asserts:
+
+1. **Declared** — :meth:`MetricRegistry.undeclared` is empty: every
+   name booked in the MonitorHub is covered by an exact
+   :class:`MetricSpec` or a declared family prefix in
+   :data:`repro.metrics.registry.CATALOG`.
+2. **Well-typed** — :meth:`MetricRegistry.mistyped` is empty: nothing
+   is booked as a counter but declared a gauge (or vice versa).
+3. **Documented** — every catalog name (family prefixes included)
+   appears verbatim in ``docs/OPERATIONS.md``, so the operator-facing
+   metric reference cannot silently drift from the code.
+
+A new counter therefore ships in three places at once — the booking
+site, the catalog, and the docs — or this check fails the build.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Short enough for CI, long enough that the storm's whole fault
+#: schedule and at least one autoscale resize both land.
+STORM_DURATION = 3.0
+AUTOSCALE_DURATION = 6.0
+
+OPERATIONS_DOC = REPO / "docs" / "OPERATIONS.md"
+
+
+def storm_system():
+    """A DAS chaos-storm run with batching on; returns the live system."""
+    import numpy as np
+
+    from repro.harness.chaos_bench import (
+        CHAOS_DEADLINE,
+        CHAOS_LOAD,
+        CHAOS_RECOVERY,
+        replicated_ingest,
+        storm_plan,
+    )
+    from repro.harness.platform import ExperimentPlatform, build_platform
+    from repro.harness.serve_bench import (
+        RASTER,
+        SERVE_NODES,
+        SERVE_SPEC,
+        SERVE_STRIP,
+        serve_tenants,
+    )
+    from repro.serve import ServeConfig, ServeSystem
+    from repro.workloads import fractal_dem
+
+    platform = ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
+    cluster, pfs = build_platform(SERVE_NODES, platform)
+    rng = np.random.default_rng(platform.seed)
+    for name in ("dem_a", "dem_b"):
+        replicated_ingest(pfs, name, fractal_dem(*RASTER, rng=rng))
+    config = ServeConfig(
+        tenants=serve_tenants(),
+        scheme="DAS",
+        duration=STORM_DURATION,
+        deadline=CHAOS_DEADLINE,
+        load=CHAOS_LOAD,
+        concurrency=8,
+        queue_capacity=12,
+        batch_max=8,
+        faults=storm_plan(pfs, STORM_DURATION),
+        recovery=CHAOS_RECOVERY,
+        decision_ttl=1.0,
+    )
+    system = ServeSystem(pfs, config)
+    system.run()
+    return system
+
+
+def autoscale_system():
+    """An autoscale cell (resizes both ways); returns the live system."""
+    from repro.harness.autoscale_bench import (
+        MAX_SERVERS,
+        MIN_SERVERS,
+        autoscale_cell,
+    )
+
+    _, system = autoscale_cell(
+        MIN_SERVERS, MAX_SERVERS, MIN_SERVERS, AUTOSCALE_DURATION
+    )
+    return system
+
+
+def check_run(label: str, system) -> List[str]:
+    problems = []
+    registry = system.metrics
+    booked = len(registry.monitors.counters) + len(registry.monitors.gauges)
+    for name in registry.undeclared():
+        problems.append(f"{label}: booked metric {name!r} is not in the catalog")
+    for issue in registry.mistyped():
+        problems.append(f"{label}: {issue}")
+    if not registry.histograms:
+        problems.append(f"{label}: no histograms were observed")
+    if not problems:
+        print(
+            f"  {label}: {booked} booked counters/gauges all declared,"
+            f" {len(registry.histograms)} histogram(s)"
+        )
+    return problems
+
+
+def check_documented() -> List[str]:
+    from repro.metrics.registry import CATALOG
+
+    if not OPERATIONS_DOC.exists():
+        return [f"{OPERATIONS_DOC.name}: missing"]
+    text = OPERATIONS_DOC.read_text()
+    problems = [
+        f"docs/OPERATIONS.md: catalog metric {spec.name!r}"
+        f" ({spec.kind}, {spec.unit}) is not documented"
+        for spec in CATALOG
+        if spec.name not in text
+    ]
+    if not problems:
+        print(f"  docs/OPERATIONS.md documents all {len(CATALOG)} catalog entries")
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    print("running chaos-storm cell (faults + batching + recovery):")
+    problems += check_run("storm", storm_system())
+    print("running autoscale cell (resize up/down):")
+    problems += check_run("autoscale", autoscale_system())
+    print("checking the catalog against docs/OPERATIONS.md:")
+    problems += check_documented()
+    if problems:
+        print(f"counter-check: {len(problems)} problem(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("counter-check: every runtime metric is declared and documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

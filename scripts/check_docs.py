@@ -40,6 +40,7 @@ DOCUMENTS = (
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
+    "docs/OBSERVABILITY.md",
     "docs/OPERATIONS.md",
     "docs/PAPER_MAP.md",
 )

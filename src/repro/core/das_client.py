@@ -24,6 +24,7 @@ from ..errors import (
 )
 from ..kernels.base import KernelRegistry, default_registry
 from ..net.message import FaultNotice
+from ..obs.span import NULL_SPAN, rpc_reply_bytes, rpc_status
 from ..pfs.filesystem import ParallelFileSystem
 from ..sim import contain_failures
 from .as_server import ASServer
@@ -117,16 +118,18 @@ class ActiveStorageClient:
         )
         return result
 
-    def execute_offload(self, request: ActiveRequest, decision: OffloadDecision):
+    def execute_offload(
+        self, request: ActiveRequest, decision: OffloadDecision, span=NULL_SPAN
+    ):
         """Process: run the offload fan-out without consulting the
         engine (schemes use this to pin behaviour, e.g. plain NAS)."""
         return self.env.process(
-            self._execute(request, decision, self.env.now, 0),
+            self._execute(request, decision, self.env.now, 0, span=span),
             name=f"as-exec-all:{request.operator}",
         )
 
     def execute_offload_batch(
-        self, requests, decision: OffloadDecision
+        self, requests, decision: OffloadDecision, span=NULL_SPAN
     ):
         """Process: ONE offload fan-out serving every request of a batch.
 
@@ -149,7 +152,9 @@ class ActiveStorageClient:
                     f" != {(lead.file, lead.operator)}"
                 )
         return self.env.process(
-            self._execute(lead, decision, self.env.now, 0, batch=len(requests)),
+            self._execute(
+                lead, decision, self.env.now, 0, batch=len(requests), span=span
+            ),
             name=f"as-exec-batch:{lead.operator}x{len(requests)}",
         )
 
@@ -160,11 +165,15 @@ class ActiveStorageClient:
         started: float,
         redistribution_bytes: int,
         batch: int = 1,
+        span=NULL_SPAN,
     ):
         meta = self.pfs.metadata.lookup(request.file)
         self._register_output(request, meta)
 
         monitors = self.cluster.monitors
+        tracer = monitors.tracer
+        if span is None:
+            span = NULL_SPAN
         wire = exec_request_wire_size(batch)
         calls = []
         for server in self.pfs.server_names:
@@ -181,7 +190,22 @@ class ActiveStorageClient:
                 "replicate_output": request.replicate_output,
                 "batch": batch,
             }
-            calls.append(self._call_or_ft(server, payload, wire))
+            rpc = NULL_SPAN
+            if span:
+                rpc = tracer.begin(
+                    f"as-exec:{server}",
+                    cat="rpc",
+                    parent=span,
+                    server=server,
+                    batch=batch,
+                )
+            call = self._call_or_ft(server, payload, wire, span=rpc)
+            if rpc:
+                # Close the span at the exact completion step of the
+                # pending call via a plain event callback — no new sim
+                # events, so tracing never perturbs the run.
+                tracer.end_on(rpc, call, status=rpc_status, bytes=rpc_reply_bytes)
+            calls.append(call)
         per_server: Dict[str, ServerExecStats] = {}
         for call in contain_failures(calls):
             reply = yield call
@@ -255,13 +279,14 @@ class ActiveStorageClient:
         }
 
     # -- fault-tolerant RPC plumbing ------------------------------------------
-    def _call_or_ft(self, server: str, payload, wire: float):
+    def _call_or_ft(self, server: str, payload, wire: float, span=NULL_SPAN):
         """One outbound AS RPC: the plain transport call when no
         recovery policy is attached, a timeout/retry wrapper otherwise."""
         if self.recovery is None:
             return self.transport.call(self.home, server, payload, wire, tag=TAG_AS)
         return self.env.process(
-            self._ft_call(server, payload, wire), name=f"as-ft:{self.home}->{server}"
+            self._ft_call(server, payload, wire, span=span),
+            name=f"as-ft:{self.home}->{server}",
         )
 
     def _guard(self, event):
@@ -273,7 +298,7 @@ class ActiveStorageClient:
             return ("err", exc)
         return ("ok", value)
 
-    def _ft_call(self, server: str, payload, wire: float):
+    def _ft_call(self, server: str, payload, wire: float, span=NULL_SPAN):
         """Exec/reduce RPC with detection: per-attempt timeout and
         exponential backoff.  There is no replica to fail over to — an
         offload *must* run where the primary strips live — so exhausted
@@ -297,12 +322,14 @@ class ActiveStorageClient:
                 err = value
             else:
                 monitors.counter("faults.rpc_timeouts").add()
+                span.event("rpc.timeout", attempt=attempt)
                 err = RPCTimeoutError(
                     f"AS RPC to {server!r} unanswered after {timeout:g}s"
                 )
             if attempt >= policy.max_attempts:
                 raise err
             monitors.counter("faults.retries").add()
+            span.event("retry", attempt=attempt)
             backoff = policy.delay(attempt)
             if backoff:
                 yield self.env.timeout(backoff)

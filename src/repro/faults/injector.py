@@ -104,6 +104,13 @@ class FaultInjector:
         self.monitors.log(
             "faults", event.kind, target=event.target, peer=event.peer or ""
         )
+        if self.monitors.tracer:
+            self.monitors.tracer.instant(
+                f"fault.{event.kind}",
+                track="faults",
+                target=event.target,
+                peer=event.peer or None,
+            )
 
     # -- measurement ----------------------------------------------------------
     def mttr(self) -> float:

@@ -115,6 +115,7 @@ def autoscale_cell(
     ingest_servers: int,
     duration: float,
     platform: Optional[ExperimentPlatform] = None,
+    tracer=None,
 ) -> Tuple[Dict[str, object], ServeSystem]:
     """One ramped serving run; returns the summary and the live system
     (the bench reads the controller trace and per-request digests)."""
@@ -145,6 +146,7 @@ def autoscale_cell(
         queue_capacity=12,
         ramp=surge_ramp(duration),
         autoscale=policy,
+        tracer=tracer,
     )
     system = ServeSystem(pfs, config)
     return system.run(), system
@@ -171,7 +173,9 @@ def _row(name: str, summary: Dict[str, object], system: ServeSystem) -> dict:
     }
 
 
-def autoscale_bench(platform=None, scale=None, verify=True) -> ExperimentReport:
+def autoscale_bench(
+    platform=None, scale=None, verify=True, trace_dir=None
+) -> ExperimentReport:
     """The autoscaling comparison (registered as ``autoscale-bench``).
 
     ``scale`` maps onto the run *duration* exactly as in serve-bench:
@@ -320,6 +324,22 @@ def autoscale_bench(platform=None, scale=None, verify=True) -> ExperimentReport:
                 replay == auto_summary,
             )
         )
+
+    if trace_dir is not None:
+        from .tracing import traced_replay
+
+        trace_checks, _ = traced_replay(
+            "autoscale",
+            lambda tracer: autoscale_cell(
+                MIN_SERVERS, MAX_SERVERS, MIN_SERVERS, duration,
+                platform=platform, tracer=tracer,
+            )[0],
+            auto_summary,
+            trace_dir,
+            meta={"bench": "autoscale-bench", "cell": "autoscale",
+                  "duration": duration},
+        )
+        checks += trace_checks
 
     return ExperimentReport(
         experiment="autoscale-bench",

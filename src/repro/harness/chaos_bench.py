@@ -101,6 +101,7 @@ def chaos_cell(
     replicated: bool = True,
     deadline: float = CHAOS_DEADLINE,
     platform: Optional[ExperimentPlatform] = None,
+    tracer=None,
 ) -> Dict[str, object]:
     """One faulted serving run: fresh platform, chosen ingest, summary.
 
@@ -129,6 +130,7 @@ def chaos_cell(
         faults=faults,
         recovery=recovery,
         decision_ttl=1.0 if recovery is not None and scheme == "DAS" else None,
+        tracer=tracer,
     )
     return ServeSystem(pfs, config).run()
 
@@ -193,6 +195,7 @@ def chaos_bench(
     verify=True,
     schemes: Sequence[str] = CHAOS_SCHEMES,
     chaos_spec: Optional[str] = None,
+    trace_dir=None,
 ) -> ExperimentReport:
     """The fault-injection sweep (registered as ``chaos-bench``).
 
@@ -400,6 +403,25 @@ def chaos_bench(
             all(s["admitted"] == s["settled"] for s in summaries.values()),
         )
     )
+
+    if trace_dir is not None:
+        from .tracing import traced_replay
+
+        # The storm cell exercises the whole fault vocabulary — crash,
+        # disk slowdown, link cut, timeouts, retries, hedges — so its
+        # trace carries every instant-event kind the exporter knows.
+        trace_checks, _ = traced_replay(
+            "chaos_storm_DAS",
+            lambda tracer: chaos_cell(
+                "DAS", duration, faults=storm, recovery=CHAOS_RECOVERY,
+                platform=platform, tracer=tracer,
+            ),
+            summaries["storm-DAS"],
+            trace_dir,
+            meta={"bench": "chaos-bench", "cell": "storm-DAS",
+                  "duration": duration},
+        )
+        checks += trace_checks
 
     return ExperimentReport(
         experiment="chaos-bench",

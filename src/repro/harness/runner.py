@@ -68,6 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve/chaos/autoscale benches: re-run one representative cell"
+            " with request tracing on, write DIR/<cell>.trace.json"
+            " (Perfetto-loadable) and <cell>.attribution.json, and check"
+            " the traced run is bit-identical to the untraced one"
+        ),
+    )
+    parser.add_argument(
         "--batch-max",
         type=int,
         default=None,
@@ -91,6 +102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["batch_max"] = args.batch_max
         if name == "chaos-bench" and args.chaos_spec is not None:
             kwargs["chaos_spec"] = args.chaos_spec
+        if args.trace_dir is not None and name in (
+            "serve-bench",
+            "chaos-bench",
+            "autoscale-bench",
+        ):
+            kwargs["trace_dir"] = args.trace_dir
         begin = time.perf_counter()
         report = run_experiment(name, **kwargs)
         timed.append((report, time.perf_counter() - begin))

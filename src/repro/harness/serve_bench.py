@@ -118,6 +118,7 @@ def serve_cell(
     deadline: float = DEADLINE,
     platform: Optional[ExperimentPlatform] = None,
     batch_max: int = 1,
+    tracer=None,
 ) -> Dict[str, object]:
     """One serving run: fresh platform, warm ingest, full summary dict."""
     platform = platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
@@ -134,6 +135,7 @@ def serve_cell(
         concurrency=8,
         queue_capacity=12,
         batch_max=batch_max,
+        tracer=tracer,
     )
     return ServeSystem(pfs, config).run()
 
@@ -187,6 +189,7 @@ def serve_bench(
     loads: Sequence[float] = DEFAULT_LOADS,
     schemes: Sequence[str] = SERVE_SCHEMES,
     batch_max: int = DEFAULT_BATCH_MAX,
+    trace_dir=None,
 ) -> ExperimentReport:
     """The serving-layer sweep (registered as ``serve-bench``).
 
@@ -328,6 +331,28 @@ def serve_bench(
                 replay == summaries[(scheme0, load0, 1)],
             )
         )
+
+    if trace_dir is not None and rows:
+        from .tracing import traced_replay
+
+        t_scheme = "DAS" if "DAS" in schemes else schemes[0]
+        t_load = 1.0 if 1.0 in loads else loads[0]
+        trace_checks, _ = traced_replay(
+            f"serve_{t_scheme}_x{t_load:g}",
+            lambda tracer: serve_cell(
+                t_scheme, t_load, duration=duration, platform=platform,
+                tracer=tracer,
+            ),
+            summaries[(t_scheme, t_load, 1)],
+            trace_dir,
+            meta={
+                "bench": "serve-bench",
+                "scheme": t_scheme,
+                "load": t_load,
+                "duration": duration,
+            },
+        )
+        checks += trace_checks
 
     return ExperimentReport(
         experiment="serve-bench",

@@ -1,0 +1,92 @@
+"""Traced-replay support shared by the serving benches.
+
+Each bench can re-run ONE representative cell with a live
+:class:`~repro.obs.Tracer` attached (``--trace-dir``).  The traced run
+must be *indistinguishable* from the untraced one — same summary dict,
+same per-request CRCs, same simulated latencies — which is exactly the
+zero-perturbation contract of :mod:`repro.obs`.  On top of that the
+replay asserts the tentpole acceptance bounds: the exported
+Chrome/Perfetto JSON is structurally valid, the span tree covers at
+least 95% of every finished request's latency, and the critical-path
+stage decomposition sums to each request's latency within 1%.
+
+Nothing here runs unless a trace directory is given, so the default
+bench trajectories (``benchmarks/BENCH_*.json``) stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from ..metrics.critical_path import critical_path
+from ..obs import Tracer, trace_document, validate_trace
+
+#: Acceptance bounds (see ISSUE/ROADMAP): span coverage and the
+#: attribution-sum error of the critical-path decomposition.
+MIN_COVERAGE = 0.95
+MAX_ATTRIBUTION_ERROR = 0.01
+
+
+def traced_replay(
+    label: str,
+    run_cell: Callable[[Tracer], Dict[str, object]],
+    baseline: Dict[str, object],
+    trace_dir,
+    meta: Dict[str, object],
+) -> Tuple[List[tuple], List[Path]]:
+    """Re-run one bench cell traced; returns (checks, written paths).
+
+    ``run_cell`` receives a fresh unbound tracer and must return the
+    cell's summary dict; ``baseline`` is the untraced summary of the
+    *same* cell.  Writes ``<label>.trace.json`` (Perfetto-loadable) and
+    ``<label>.attribution.json`` (the per-stage time-attribution table
+    plus per-request rows) under ``trace_dir``.
+    """
+    tracer = Tracer()
+    summary = run_cell(tracer)
+
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    doc = trace_document(tracer, meta=meta)
+    trace_path = out / f"{label}.trace.json"
+    trace_path.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    problems = validate_trace(doc)
+
+    report = critical_path(tracer)
+    attribution_path = out / f"{label}.attribution.json"
+    attribution_path.write_text(
+        json.dumps(report.as_dict(), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    min_cov = report.min_coverage()
+    max_err = report.max_attribution_error()
+    checks = [
+        (
+            f"{label}: tracing is non-perturbing — the traced cell's summary"
+            " (per-request CRCs and latencies included) equals the untraced"
+            " run bit for bit",
+            summary == baseline,
+        ),
+        (
+            f"{label}: exported trace is structurally valid Perfetto JSON"
+            f" ({len(tracer.spans)} spans, {len(problems)} problems)",
+            len(tracer.spans) > 0 and not problems,
+        ),
+        (
+            f"{label}: spans cover >= {MIN_COVERAGE:.0%} of every finished"
+            f" request's latency (min coverage {min_cov:.4f} over"
+            f" {report.count} requests)",
+            report.count > 0 and min_cov >= MIN_COVERAGE,
+        ),
+        (
+            f"{label}: critical-path stages sum to each request's latency"
+            f" within {MAX_ATTRIBUTION_ERROR:.0%} (max error {max_err:.6f})",
+            max_err <= MAX_ATTRIBUTION_ERROR,
+        ),
+    ]
+    return checks, [trace_path, attribution_path]

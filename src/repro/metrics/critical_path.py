@@ -1,0 +1,239 @@
+"""Critical-path attribution: where each request's latency went.
+
+Given a traced serving run (:class:`~repro.obs.span.Tracer`), decompose
+every finished request's arrival-to-settle latency into *stage*
+contributions — queued, attempt overhead, fence waits, backoff,
+redistribution, normal-path read/compute, offload fan-out RPCs — and
+aggregate per-cell time-attribution tables for the benches.
+
+The decomposition is a deepest-span sweep, the flame-graph rule: the
+request's root interval is cut at every child-span boundary, and each
+segment is attributed to the *deepest* span covering it (ties broken by
+latest start, then span id — deterministic).  Segments no child covers
+are ``unattributed`` (scheduler bookkeeping between events, plus any
+instrumentation gap — the bench's coverage check pins this below 5%).
+Because the segments partition the root interval exactly, the per-stage
+seconds of a request **sum to its measured latency** by construction;
+the bench still asserts the ≤1% acceptance bound end to end.
+
+Batch riders carry a ``shared`` attribute naming the leader's attempt
+span: the rider's own attempt has no children (the single fan-out hangs
+off the leader), so the sweep follows the link and the shared wall time
+is attributed identically for every member of the batch.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "STAGES",
+    "RequestAttribution",
+    "CriticalPathReport",
+    "request_attribution",
+    "critical_path",
+]
+
+#: Stage order for tables (spans' ``cat`` values, plus the remainder).
+STAGES = (
+    "queue",
+    "attempt",
+    "backoff",
+    "fence",
+    "redistribute",
+    "normal",
+    "read",
+    "compute",
+    "offload",
+    "rpc",
+    "unattributed",
+)
+
+#: Root-span outcomes that carry a meaningful latency.
+_FINISHED = ("completed", "late")
+
+
+@dataclass
+class RequestAttribution:
+    """One request's latency, decomposed."""
+
+    req_id: int
+    tenant: str
+    outcome: str
+    latency: float
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attributed(self) -> float:
+        """Seconds covered by real spans (everything but the remainder)."""
+        return sum(v for k, v in self.stages.items() if k != "unattributed")
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the latency the span tree explains."""
+        if self.latency <= 0:
+            return 1.0
+        return self.attributed / self.latency
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+
+def _subtree(root, children: Dict[int, list]) -> List[Tuple[object, int]]:
+    """(span, depth) for the request's tree, following rider links."""
+    out = []
+    stack = [(root, 0)]
+    while stack:
+        span, depth = stack.pop()
+        out.append((span, depth))
+        kids = children.get(span.sid, [])
+        shared = span.attrs.get("shared")
+        if shared is not None and not kids:
+            # A batch rider: decompose through the leader's fan-out.
+            kids = children.get(shared, [])
+        for kid in kids:
+            stack.append((kid, depth + 1))
+    return out
+
+
+def request_attribution(
+    tracer, req_id: int, _children: Optional[Dict[int, list]] = None
+) -> Optional[RequestAttribution]:
+    """Decompose one request; ``None`` when it has no closed root span."""
+    root = tracer.requests.get(req_id)
+    if root is None or root.end is None or root.end < root.start:
+        return None
+    children = tracer.children_index() if _children is None else _children
+    lo0, hi0 = root.start, root.end
+    covers = [
+        (span, depth)
+        for span, depth in _subtree(root, children)
+        if depth > 0 and span.end is not None and span.end > span.start
+    ]
+    bounds = {lo0, hi0}
+    for span, _ in covers:
+        bounds.add(min(max(span.start, lo0), hi0))
+        bounds.add(min(max(span.end, lo0), hi0))
+    cuts = sorted(bounds)
+    stages: Dict[str, float] = defaultdict(float)
+    for lo, hi in zip(cuts, cuts[1:]):
+        if hi <= lo:
+            continue
+        best = None
+        for span, depth in covers:
+            if span.start <= lo and span.end >= hi:
+                key = (depth, span.start, span.sid)
+                if best is None or key > best[0]:
+                    best = (key, span)
+        cat = best[1].cat if best is not None else "unattributed"
+        stages[cat] += hi - lo
+    return RequestAttribution(
+        req_id=req_id,
+        tenant=root.attrs.get("tenant", "?"),
+        outcome=root.attrs.get("outcome", "?"),
+        latency=hi0 - lo0,
+        stages=dict(stages),
+    )
+
+
+@dataclass
+class CriticalPathReport:
+    """Attribution across every sampled request of a run."""
+
+    requests: List[RequestAttribution]
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    def min_coverage(self) -> float:
+        """Worst per-request span coverage (1.0 for an empty report)."""
+        return min((r.coverage for r in self.requests), default=1.0)
+
+    def max_attribution_error(self) -> float:
+        """Largest relative |sum(stages) - latency| over the sample."""
+        worst = 0.0
+        for r in self.requests:
+            if r.latency > 0:
+                worst = max(worst, abs(r.total - r.latency) / r.latency)
+        return worst
+
+    def stage_seconds(self) -> Dict[str, float]:
+        totals: Dict[str, float] = defaultdict(float)
+        for r in self.requests:
+            for stage, seconds in r.stages.items():
+                totals[stage] += seconds
+        return dict(totals)
+
+    def table(self) -> List[dict]:
+        """Per-stage rows (seconds, share of latency, mean per request)
+        for :func:`~repro.metrics.report.format_table`."""
+        totals = self.stage_seconds()
+        latency_sum = sum(r.latency for r in self.requests)
+        rows = []
+        order = list(STAGES) + sorted(set(totals) - set(STAGES))
+        for stage in order:
+            seconds = totals.get(stage, 0.0)
+            if seconds == 0.0 and stage not in totals:
+                continue
+            rows.append(
+                {
+                    "stage": stage,
+                    "seconds": seconds,
+                    "share": seconds / latency_sum if latency_sum else 0.0,
+                    "mean_s": seconds / self.count if self.count else 0.0,
+                }
+            )
+        return rows
+
+    def per_request_rows(self) -> List[dict]:
+        rows = []
+        for r in sorted(self.requests, key=lambda r: r.req_id):
+            rows.append(
+                {
+                    "req_id": r.req_id,
+                    "tenant": r.tenant,
+                    "outcome": r.outcome,
+                    "latency_s": r.latency,
+                    "coverage": r.coverage,
+                    **{
+                        f"{stage}_s": r.stages.get(stage, 0.0)
+                        for stage in STAGES
+                        if any(q.stages.get(stage) for q in self.requests)
+                    },
+                }
+            )
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.count,
+            "min_coverage": self.min_coverage(),
+            "max_attribution_error": self.max_attribution_error(),
+            "stages": self.table(),
+            "per_request": self.per_request_rows(),
+        }
+
+
+def critical_path(
+    tracer, req_ids: Optional[Iterable[int]] = None
+) -> CriticalPathReport:
+    """Attribution over finished (completed/late) requests.
+
+    ``req_ids`` restricts the sample; by default every registered
+    request whose outcome carries a latency is decomposed.
+    """
+    children = tracer.children_index()
+    ids = sorted(req_ids) if req_ids is not None else sorted(tracer.requests)
+    out = []
+    for req_id in ids:
+        root = tracer.requests.get(req_id)
+        if root is None or root.attrs.get("outcome") not in _FINISHED:
+            continue
+        attribution = request_attribution(tracer, req_id, _children=children)
+        if attribution is not None:
+            out.append(attribution)
+    return CriticalPathReport(out)

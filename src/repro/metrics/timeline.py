@@ -1,11 +1,14 @@
-"""Timeline reconstruction from the monitor trace.
+"""Timeline reconstruction — a projection of the span model.
 
 When a cluster is built with ``SimConfig(trace=True)``, every CPU
-kernel invocation, disk I/O and network transfer leaves a trace record.
-:class:`Timeline` turns those records into per-node busy intervals and
-utilisation numbers, and :func:`render_gantt` draws a plain-text Gantt
-chart — enough to *see* why NAS is slow (servers ping-ponging between
-serving and computing) without leaving the terminal.
+kernel invocation and disk I/O leaves a trace record.  Those records
+become detached :class:`~repro.obs.span.Span` objects (see
+:func:`repro.obs.spans_from_monitor_trace`), and a :class:`Timeline`
+is nothing more than their projection onto per-``(node, kind)`` busy
+intervals; the interval algebra (merging, total measure) lives in
+:mod:`repro.obs.span` and is shared with the tracer.  The public API —
+:class:`Timeline`, :func:`render_gantt`, :func:`utilization_table` —
+is unchanged.
 """
 
 from __future__ import annotations
@@ -14,9 +17,16 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..sim.monitor import MonitorHub, TraceRecord
+from ..obs.span import (
+    Interval,
+    Span,
+    intervals_total,
+    merge_intervals,
+    spans_from_monitor_trace,
+)
+from ..sim.monitor import MonitorHub
 
-Interval = Tuple[float, float]
+__all__ = ["Interval", "Timeline", "render_gantt", "utilization_table"]
 
 
 @dataclass
@@ -28,41 +38,37 @@ class Timeline:
     horizon: float
 
     @classmethod
+    def from_spans(cls, spans: List[Span], horizon: float = 0.0) -> "Timeline":
+        """Project device spans (track=node, cat=kind) onto busy lanes."""
+        busy: Dict[Tuple[str, str], List[Interval]] = defaultdict(list)
+        for span in spans:
+            if span.end is None:
+                continue
+            horizon = max(horizon, span.end)
+            busy[(span.track, span.cat)].append((span.start, span.end))
+        for intervals in busy.values():
+            intervals.sort()
+        return cls(busy=dict(busy), horizon=horizon)
+
+    @classmethod
     def from_monitors(cls, monitors: MonitorHub) -> "Timeline":
         """Build from a trace-enabled monitor hub.
 
         CPU and disk records carry their duration and are logged at
-        completion, so each becomes the interval ``[t - seconds, t)``.
+        completion, so each becomes the span ``[t - seconds, t)``.
         """
-        busy: Dict[Tuple[str, str], List[Interval]] = defaultdict(list)
-        horizon = 0.0
-        for rec in monitors.trace:
-            horizon = max(horizon, rec.time)
-            if rec.category in ("cpu", "disk"):
-                node = rec.detail.split(":", 1)[0]
-                seconds = float(rec.data.get("seconds", 0.0))
-                if seconds > 0:
-                    busy[(node, rec.category)].append((rec.time - seconds, rec.time))
-        for intervals in busy.values():
-            intervals.sort()
-        return cls(busy=dict(busy), horizon=horizon)
+        horizon = max((rec.time for rec in monitors.trace), default=0.0)
+        return cls.from_spans(spans_from_monitor_trace(monitors), horizon)
 
     def intervals(self, node: str, kind: str) -> List[Interval]:
         return self.busy.get((node, kind), [])
 
     def busy_seconds(self, node: str, kind: str) -> float:
         """Total busy time with overlaps merged."""
-        merged = self.merged(node, kind)
-        return sum(b - a for a, b in merged)
+        return intervals_total(self.intervals(node, kind))
 
     def merged(self, node: str, kind: str) -> List[Interval]:
-        out: List[Interval] = []
-        for a, b in self.intervals(node, kind):
-            if out and a <= out[-1][1]:
-                out[-1] = (out[-1][0], max(out[-1][1], b))
-            else:
-                out.append((a, b))
-        return out
+        return merge_intervals(self.intervals(node, kind))
 
     def utilization(self, node: str, kind: str, horizon: float | None = None) -> float:
         """Busy fraction of the run (or of an explicit horizon)."""

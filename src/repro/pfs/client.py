@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import LayoutError, NodeDownError, PFSError
 from ..hw.cluster import Cluster
+from ..obs.span import NULL_SPAN, rpc_reply_bytes, rpc_status
 from ..sim import contain_failures
 from .dataserver import (
     TAG_PFS,
@@ -116,26 +117,26 @@ class PFSClient:
         return True
 
     # -- timed data path -----------------------------------------------------------
-    def read(self, name: str, offset: int, length: int):
+    def read(self, name: str, offset: int, length: int, span=NULL_SPAN):
         """Process: read ``length`` bytes at ``offset``; value is uint8[length]."""
         return self.env.process(
-            self._read(name, offset, length), name=f"pfs-read:{self.home}"
+            self._read(name, offset, length, span=span), name=f"pfs-read:{self.home}"
         )
 
-    def _read(self, name: str, offset: int, length: int):
-        out = yield from self._read_scattered(name, [(offset, length)])
+    def _read(self, name: str, offset: int, length: int, span=NULL_SPAN):
+        out = yield from self._read_scattered(name, [(offset, length)], span=span)
         return out
 
-    def read_scattered(self, name: str, ranges):
+    def read_scattered(self, name: str, ranges, span=NULL_SPAN):
         """Process: read several (offset, length) byte ranges in one
         batched exchange (one request per touched server); value is the
         concatenation of the ranges, uint8."""
         return self.env.process(
-            self._read_scattered(name, list(ranges)),
+            self._read_scattered(name, list(ranges), span=span),
             name=f"pfs-read-scattered:{self.home}",
         )
 
-    def _read_scattered(self, name: str, ranges):
+    def _read_scattered(self, name: str, ranges, span=NULL_SPAN):
         meta = self.metadata.lookup(name)
         total = 0
         positioned = []  # (output position, StripExtent)
@@ -154,7 +155,7 @@ class PFSClient:
         out = np.empty(total, dtype=np.uint8)
         if self.recovery is not None:
             yield from self._fill_positioned_ft(
-                meta, name, positioned, out, self.recovery, frozenset()
+                meta, name, positioned, out, self.recovery, frozenset(), span=span
             )
             return out
 
@@ -162,19 +163,29 @@ class PFSClient:
         for pos, e in positioned:
             by_server.setdefault(e.server, []).append((pos, e))
 
+        tracer = self.cluster.monitors.tracer
         calls = {}
         for server, group in by_server.items():
             pieces = [ReadPiece(e.strip, e.in_strip, e.length) for _, e in group]
-            calls[server] = (
-                group,
-                self.transport.call(
-                    self.home,
-                    server,
-                    {"op": "read", "file": name, "pieces": pieces},
-                    accounted_wire_size(self.cluster.monitors, len(pieces)),
-                    tag=TAG_PFS,
-                ),
+            rpc = NULL_SPAN
+            if span:
+                rpc = tracer.begin(
+                    f"pfs-read:{server}",
+                    cat="rpc",
+                    parent=span,
+                    server=server,
+                    pieces=len(pieces),
+                )
+            call = self.transport.call(
+                self.home,
+                server,
+                {"op": "read", "file": name, "pieces": pieces},
+                accounted_wire_size(self.cluster.monitors, len(pieces)),
+                tag=TAG_PFS,
             )
+            if rpc:
+                tracer.end_on(rpc, call, status=rpc_status, bytes=rpc_reply_bytes)
+            calls[server] = (group, call)
 
         contain_failures([call for _, call in calls.values()])
         for server, (group, call) in calls.items():
@@ -182,7 +193,15 @@ class PFSClient:
             self._scatter_reply(reply.payload, group, out)
         return out
 
-    def read_region(self, name: str, row0: int, col0: int, n_rows: int, n_cols: int):
+    def read_region(
+        self,
+        name: str,
+        row0: int,
+        col0: int,
+        n_rows: int,
+        n_cols: int,
+        span=NULL_SPAN,
+    ):
         """Process: read a rectangular sub-raster; value is a 2-D array
         of the file's dtype with shape ``(n_rows, n_cols)``.
 
@@ -190,11 +209,19 @@ class PFSClient:
         covered row.  All row segments go out as one batched scattered
         read, not ``n_rows`` separate requests."""
         return self.env.process(
-            self._read_region(name, row0, col0, n_rows, n_cols),
+            self._read_region(name, row0, col0, n_rows, n_cols, span=span),
             name=f"pfs-read-region:{self.home}",
         )
 
-    def _read_region(self, name: str, row0: int, col0: int, n_rows: int, n_cols: int):
+    def _read_region(
+        self,
+        name: str,
+        row0: int,
+        col0: int,
+        n_rows: int,
+        n_cols: int,
+        span=NULL_SPAN,
+    ):
         meta = self.metadata.lookup(name)
         width = meta.width  # raises if the file has no raster shape
         height = meta.shape[0]  # type: ignore[index]
@@ -211,7 +238,7 @@ class PFSClient:
             (((row0 + r) * width + col0) * e_size, n_cols * e_size)
             for r in range(n_rows)
         ]
-        raw = yield from self._read_scattered(name, ranges)
+        raw = yield from self._read_scattered(name, ranges, span=span)
         return raw.view(meta.dtype).reshape(n_rows, n_cols)
 
     def read_elems(self, name: str, first: int, count: int):
@@ -302,7 +329,9 @@ class PFSClient:
             return ("err", exc)
         return ("ok", value)
 
-    def _fill_positioned_ft(self, meta, name, positioned, out, policy, excluded):
+    def _fill_positioned_ft(
+        self, meta, name, positioned, out, policy, excluded, span=NULL_SPAN
+    ):
         """Fill ``out`` from ``(position, extent)`` pairs with recovery.
 
         One fault-tolerant sub-read per touched server, joined so that a
@@ -314,7 +343,9 @@ class PFSClient:
             by_server.setdefault(e.server, []).append((pos, e))
         jobs = [
             self.env.process(
-                self._server_read_ft(meta, name, server, group, out, policy, excluded),
+                self._server_read_ft(
+                    meta, name, server, group, out, policy, excluded, span=span
+                ),
                 name=f"pfs-ft:{self.home}->{server}",
             )
             for server, group in by_server.items()
@@ -322,14 +353,27 @@ class PFSClient:
         for job in contain_failures(jobs):
             yield job
 
-    def _server_read_ft(self, meta, name, server, group, out, policy, excluded):
+    def _server_read_ft(
+        self, meta, name, server, group, out, policy, excluded, span=NULL_SPAN
+    ):
         """Read one server's pieces with timeout, backoff, hedging and
         replica failover, scattering the bytes into ``out``."""
         monitors = self.cluster.monitors
+        tracer = monitors.tracer
         pieces = [ReadPiece(e.strip, e.in_strip, e.length) for _, e in group]
         attempt = 1
         hedge_guard = None
         while True:
+            rpc = NULL_SPAN
+            if span:
+                rpc = tracer.begin(
+                    f"pfs-read:{server}",
+                    cat="rpc",
+                    parent=span,
+                    server=server,
+                    pieces=len(pieces),
+                    attempt=attempt,
+                )
             call = self.transport.call(
                 self.home,
                 server,
@@ -356,13 +400,17 @@ class PFSClient:
                 if guard.processed:
                     status, value = guard.value
                     if status == "ok":
+                        rpc.finish(status="ok", bytes=getattr(value, "size", None))
                         self._scatter_reply(value.payload, group, out)
                         return
+                    rpc.finish(status="error", error=type(value).__name__)
                     break  # attempt failed fast (node/link down en route)
                 if hedge_guard is not None and hedge_guard.processed:
                     status, value = hedge_guard.value
                     if status == "ok":
                         monitors.counter("faults.hedge_wins").add()
+                        span.event("hedge.win", server=server)
+                        rpc.finish(status="abandoned")
                         return
                     hedge_guard = None  # hedge died; keep the primary attempt
                     continue
@@ -373,6 +421,7 @@ class PFSClient:
                     )
                     if remapped is not None:
                         monitors.counter("faults.hedged_reads").add()
+                        span.event("hedge", server=server)
                         hedge_guard = self.env.process(
                             self._guard(
                                 self.env.process(
@@ -383,6 +432,7 @@ class PFSClient:
                                         out,
                                         policy,
                                         excluded | {server},
+                                        span=span,
                                     ),
                                     name=f"pfs-hedge:{self.home}",
                                 )
@@ -392,10 +442,13 @@ class PFSClient:
                     continue
                 if deadline.processed:
                     monitors.counter("faults.rpc_timeouts").add()
+                    span.event("rpc.timeout", server=server, attempt=attempt)
+                    rpc.finish(status="timeout")
                     break
             if attempt >= policy.max_attempts:
                 break
             monitors.counter("faults.retries").add()
+            span.event("retry", server=server, attempt=attempt)
             backoff = policy.delay(attempt)
             if backoff:
                 yield self.env.timeout(backoff)
@@ -406,6 +459,7 @@ class PFSClient:
             status, value = yield hedge_guard
             if status == "ok":
                 monitors.counter("faults.hedge_wins").add()
+                span.event("hedge.win", server=server)
                 return
         remapped = self._remap_group(meta.layout, group, excluded | {server})
         if remapped is None:
@@ -414,8 +468,9 @@ class PFSClient:
                 f" covers its strips of {name!r}"
             )
         monitors.counter("faults.failover_reads").add(len(group))
+        span.event("failover", server=server, pieces=len(group))
         yield from self._fill_positioned_ft(
-            meta, name, remapped, out, policy, excluded | {server}
+            meta, name, remapped, out, policy, excluded | {server}, span=span
         )
 
     def _remap_group(self, layout: Layout, group, excluded):

@@ -66,7 +66,9 @@ class NormalActiveStorageScheme(Scheme):
             pipeline_length=1,
             reason="NAS offloads unconditionally on the current layout",
         )
-        result = yield self.client.execute_offload(request, decision)
+        result = yield self.client.execute_offload(
+            request, decision, span=options.get("trace_span")
+        )
         return self._result(
             operator,
             input_file,

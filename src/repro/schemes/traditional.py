@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ActiveStorageError
 from ..kernels.stencil import Window, window_bounds
+from ..obs.span import NULL_SPAN
 from ..sim import contain_failures
 from .base import Scheme
 
@@ -79,6 +80,7 @@ class TraditionalScheme(Scheme):
         n = meta.n_elements
 
         # Even contiguous partition over the compute nodes.
+        span = options.get("trace_span") or NULL_SPAN
         shares = self._partition(n, len(compute_nodes))
         workers = []
         for node, (first, count) in zip(compute_nodes, shares):
@@ -98,6 +100,7 @@ class TraditionalScheme(Scheme):
                         width,
                         write_back,
                         results,
+                        span,
                     ),
                     name=f"ts-worker:{node.name}",
                 )
@@ -138,14 +141,27 @@ class TraditionalScheme(Scheme):
         width,
         write_back,
         results,
+        span=NULL_SPAN,
     ):
         client = self.pfs.client(node.name)
         win_lo, win_hi = window_bounds(first, count, rb, ra, meta.n_elements)
+        tracer = self.cluster.monitors.tracer
+        rspan = NULL_SPAN
+        if span:
+            rspan = tracer.begin(
+                f"read:{node.name}",
+                cat="read",
+                parent=span,
+                node=node.name,
+                bytes=(win_hi - win_lo) * meta.element_size,
+            )
         raw = yield client.read(
             meta.name,
             win_lo * meta.element_size,
             (win_hi - win_lo) * meta.element_size,
+            span=rspan,
         )
+        rspan.finish()
         window = Window(
             data=raw.view(meta.dtype).astype(np.float64, copy=False),
             lo=win_lo,
@@ -154,7 +170,18 @@ class TraditionalScheme(Scheme):
             width=width,
             n_elements=meta.n_elements,
         )
+        cspan = NULL_SPAN
+        if span:
+            cspan = tracer.begin(
+                f"compute:{node.name}",
+                cat="compute",
+                parent=span,
+                node=node.name,
+                kernel=kernel.name,
+                elements=count,
+            )
         yield node.cpu.run_kernel(kernel.name, count)
+        cspan.finish()
         out = kernel.apply_window(window)
         results[node.name] = (first, out)
         if write_back:

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..errors import ServeError
+from ..obs.span import NULL_SPAN
 from ..pfs.layout import GroupedLayout, Layout, RoundRobinLayout
 from ..pfs.replicated import ReplicatedGroupedLayout
 
@@ -290,10 +291,28 @@ class AutoscaleController:
         old_servers = set(self.pfs.server_names[: self.active])
         new_names = self.pfs.server_names[:target]
         direction = "up" if target > self.active else "down"
+        tracer = self.monitors.tracer
+        rspan = NULL_SPAN
+        if tracer:
+            rspan = tracer.begin(
+                f"resize:{direction}",
+                cat="resize",
+                track="autoscale",
+                target=target,
+                from_servers=self.active,
+            )
         moved_total = 0
         for file in self.files:
             claim = self.executor.write_fence(file)
+            fence = NULL_SPAN
+            if rspan and not claim.triggered:
+                # Span only contended fence waits; an uncontended claim
+                # completes synchronously and would be a 0-width span.
+                fence = tracer.begin(
+                    f"fence:{file}", cat="fence", parent=rspan, file=file
+                )
             yield claim
+            fence.finish()
             try:
                 meta = self.pfs.metadata.lookup(file)
                 old_layout = meta.layout
@@ -303,7 +322,16 @@ class AutoscaleController:
                     == getattr(new_layout, "group", None)
                 ):
                     continue
+                move = NULL_SPAN
+                if rspan:
+                    move = tracer.begin(
+                        f"redistribute:{file}",
+                        cat="redistribute",
+                        parent=rspan,
+                        file=file,
+                    )
                 moved = yield self.pfs.redistributor.redistribute(file, new_layout)
+                move.finish(bytes=int(moved))
                 moved_total += int(moved)
                 if self.executor.cache is not None:
                     self.executor.cache.invalidate_meta(meta, layout=old_layout)
@@ -337,6 +365,14 @@ class AutoscaleController:
             target=str(target),
             peer=reason,
         )
+        rspan.finish(moved_bytes=moved_total)
+        if tracer:
+            tracer.instant(
+                f"autoscale.scale-{direction}",
+                track="autoscale",
+                target=target,
+                moved_bytes=moved_total,
+            )
 
     # -- reporting -------------------------------------------------------------
     def partition(self) -> List[str]:

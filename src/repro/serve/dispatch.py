@@ -48,6 +48,7 @@ from ..core.decision_cache import DecisionCache
 from ..core.request import ActiveRequest
 from ..errors import ServeError
 from ..kernels.base import KernelRegistry, default_registry
+from ..obs.span import NULL_SPAN
 from ..pfs.filesystem import ParallelFileSystem
 from ..schemes.nas import NormalActiveStorageScheme
 from ..schemes.traditional import TraditionalScheme
@@ -128,11 +129,17 @@ class LoadAwareExecutor:
         """DWRR cost of a request: the bytes of input it will consume."""
         return int(self.pfs.metadata.lookup(req.file).size)
 
-    def execute(self, req: ServeRequest):
-        """Process: run ``req`` end to end; value is a result dict."""
-        return self.env.process(self._execute([req]), name=f"serve-exec:{req.req_id}")
+    def execute(self, req: ServeRequest, span=NULL_SPAN):
+        """Process: run ``req`` end to end; value is a result dict.
 
-    def execute_batch(self, batch: List[ServeRequest]):
+        ``span`` is the dispatcher's attempt span (tracing only): the
+        executor parents its fence/decision/backend spans under it.
+        """
+        return self.env.process(
+            self._execute([req], span=span), name=f"serve-exec:{req.req_id}"
+        )
+
+    def execute_batch(self, batch: List[ServeRequest], span=NULL_SPAN):
         """Process: serve every request of ``batch`` — all sharing one
         ``(file, kernel, params)`` key — with a single backend pass."""
         leader = batch[0]
@@ -143,18 +150,20 @@ class LoadAwareExecutor:
                     f"batch mixes keys: {batch_key(member)} != {key}"
                 )
         return self.env.process(
-            self._execute(list(batch)),
+            self._execute(list(batch), span=span),
             name=f"serve-exec:{leader.req_id}x{len(batch)}",
         )
 
     # -- execution ------------------------------------------------------------
-    def _execute(self, batch: List[ServeRequest]):
+    def _execute(self, batch: List[ServeRequest], span=NULL_SPAN):
+        if span is None:
+            span = NULL_SPAN
         if self.scheme == "TS":
-            result = yield from self._run_normal(batch)
+            result = yield from self._run_normal(batch, span)
         elif self.scheme == "NAS":
-            result = yield from self._run_nas(batch)
+            result = yield from self._run_nas(batch, span)
         else:
-            result = yield from self._run_das(batch)
+            result = yield from self._run_das(batch, span)
         return result
 
     def _enter(self, path: str, n: int = 1) -> None:
@@ -185,82 +194,142 @@ class LoadAwareExecutor:
         this claim so a move never races an in-flight read."""
         return self._file_lock(file).acquire_write()
 
-    def _run_normal(self, batch: List[ServeRequest]):
+    def _fence_span(self, span, name: str, file: str):
+        """Span a *contended* fence wait (uncontended grants are
+        synchronous and span-free, like they are event-free)."""
+        if not span:
+            return NULL_SPAN
+        return self.monitors.tracer.begin(
+            name, cat="fence", parent=span, file=file
+        )
+
+    def _run_normal(self, batch: List[ServeRequest], span=NULL_SPAN):
         """Client-side compute (the TS path; also the DAS fallback)."""
         leader = batch[0]
         n = len(batch)
         claim = self._read_fence(leader.file)
         if not claim.triggered:
+            fence = self._fence_span(span, "fence.read", leader.file)
             yield claim
+            fence.finish()
         self._enter("normal", n)
         self.monitors.counter("serve.path.normal").add(n)
         sink: Dict[str, tuple] = {}
+        options: Dict[str, object] = {"results_sink": sink}
+        work = NULL_SPAN
+        if span:
+            work = self.monitors.tracer.begin(
+                "normal-io",
+                cat="normal",
+                parent=span,
+                file=leader.file,
+                kernel=leader.operator,
+            )
+            options["trace_span"] = work
         try:
             yield self.env.process(
                 self._ts._serve(
-                    leader.operator, leader.file, leader.output,
-                    {"results_sink": sink},
+                    leader.operator, leader.file, leader.output, options,
                 )
             )
             self._record_client_digest(batch, sink)
+            span.event("gather", members=n)
         finally:
+            work.finish()
             self._exit("normal", n)
             claim.release()
         return {"path": "normal", "batched": n}
 
-    def _run_nas(self, batch: List[ServeRequest]):
+    def _run_nas(self, batch: List[ServeRequest], span=NULL_SPAN):
         """Unconditional offload on the current (round-robin) layout."""
         assert self._nas is not None
         leader = batch[0]
         n = len(batch)
         claim = self._read_fence(leader.file)
         if not claim.triggered:
+            fence = self._fence_span(span, "fence.read", leader.file)
             yield claim
+            fence.finish()
         self._enter("offload", n)
         self.monitors.counter("serve.path.offload").add(n)
+        options: Dict[str, object] = {}
+        work = NULL_SPAN
+        if span:
+            work = self.monitors.tracer.begin(
+                "offload",
+                cat="offload",
+                parent=span,
+                file=leader.file,
+                kernel=leader.operator,
+            )
+            options["trace_span"] = work
         try:
             yield self.env.process(
-                self._nas._serve(leader.operator, leader.file, leader.output, {})
+                self._nas._serve(leader.operator, leader.file, leader.output, options)
             )
             self._record_output_digest(batch, leader.output)
+            span.event("gather", members=n)
         finally:
+            work.finish()
             self._exit("offload", n)
             self._drop_output(leader.output)
             claim.release()
         return {"path": "offload", "batched": n}
 
     # -- the DAS serving path ------------------------------------------------
-    def _run_das(self, batch: List[ServeRequest]):
+    def _run_das(self, batch: List[ServeRequest], span=NULL_SPAN):
         assert self.client is not None and self.cache is not None
         leader = batch[0]
         n = len(batch)
         meta = self.pfs.metadata.lookup(leader.file)
         # One Fig. 3 consult per batch key, not per member.
+        hits_before = self.cache.stats.hits
         decision = self.cache.decide(
             meta, leader.operator, pipeline_length=leader.pipeline_length
         )
         offload = decision.accept and self._prefer_offload(decision)
         if decision.accept and not offload:
             self.monitors.counter("serve.diverted").add(n)
-        if offload and self._file_degraded(meta):
+        degraded = offload and self._file_degraded(meta)
+        if degraded:
             # Offload must run where the primary strips live; with any
             # holder down the file is not offloadable — serve it as
             # normal I/O (whose reads can fail over to replicas).
             self.monitors.counter("faults.degraded_decisions").add(n)
             offload = False
+        span.event(
+            "decision",
+            outcome=decision.outcome,
+            cache="hit" if self.cache.stats.hits > hits_before else "miss",
+            offload=offload,
+            diverted=bool(decision.accept and not offload and not degraded),
+            degraded=bool(degraded),
+        )
         if offload and decision.redistribute_to is not None:
-            decision = yield from self._ensure_layout(leader)
+            decision = yield from self._ensure_layout(leader, span)
             offload = decision.accept
         if not offload:
-            result = yield from self._run_normal(batch)
+            result = yield from self._run_normal(batch, span)
             result["decision"] = decision.outcome
             return result
 
         claim = self._read_fence(leader.file)
         if not claim.triggered:
+            fence = self._fence_span(span, "fence.read", leader.file)
             yield claim
+            fence.finish()
         self._enter("offload", n)
         self.monitors.counter("serve.path.offload").add(n)
+        work = NULL_SPAN
+        if span:
+            work = self.monitors.tracer.begin(
+                "offload",
+                cat="offload",
+                parent=span,
+                file=leader.file,
+                kernel=leader.operator,
+                members=n,
+            )
         try:
             requests = [
                 ActiveRequest(
@@ -271,9 +340,13 @@ class LoadAwareExecutor:
                 )
                 for member in batch
             ]
-            yield self.client.execute_offload_batch(requests, decision)
+            yield self.client.execute_offload_batch(
+                requests, decision, span=work
+            )
             self._record_output_digest(batch, leader.output)
+            span.event("gather", members=n)
         finally:
+            work.finish()
             self._exit("offload", n)
             self._drop_output(leader.output)
             claim.release()
@@ -325,7 +398,7 @@ class LoadAwareExecutor:
         )
         return effective_offload <= effective_normal
 
-    def _ensure_layout(self, req: ServeRequest):
+    def _ensure_layout(self, req: ServeRequest, span=NULL_SPAN):
         """Serialise redistribution of one file across concurrent requests.
 
         Returns the decision that holds *after* the file is (found to
@@ -334,7 +407,11 @@ class LoadAwareExecutor:
         """
         assert self.client is not None and self.cache is not None
         claim = self.write_fence(req.file)
+        fence = NULL_SPAN
+        if not claim.triggered:
+            fence = self._fence_span(span, "fence.write", req.file)
         yield claim
+        fence.finish()
         try:
             # Re-consult on fresh metadata: the lock's previous holder
             # may have already moved the file.
@@ -344,9 +421,16 @@ class LoadAwareExecutor:
             )
             if decision.accept and decision.redistribute_to is not None:
                 old_layout = meta.layout  # the move swaps meta.layout in place
-                yield self.pfs.redistributor.redistribute(
+                move = NULL_SPAN
+                if span:
+                    move = self.monitors.tracer.begin(
+                        "redistribute", cat="redistribute", parent=span,
+                        file=req.file,
+                    )
+                moved = yield self.pfs.redistributor.redistribute(
                     req.file, decision.redistribute_to
                 )
+                move.finish(bytes=int(moved))
                 self.cache.invalidate_meta(meta, layout=old_layout)
                 self.monitors.counter("serve.redistributions").add()
                 decision = self.cache.decide(

@@ -38,6 +38,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError, ServeError
 from ..hw.cluster import Cluster
+from ..obs.span import NULL_SPAN
 from ..sim.resources import Resource
 from .batch import BatchStats, merge_window, scatter_result
 from .slo import COMPLETED, EXPIRED, FAILED, LATE, SLOBoard
@@ -107,6 +108,8 @@ class FairScheduler:
         self._dispatcher = self.env.process(self._dispatch_loop(), name="serve-dispatch")
         #: Dispatch order, for fairness assertions in tests.
         self.dispatch_log: list = []
+        #: req_id -> open "queued" span (tracing only; empty otherwise).
+        self._queue_spans: Dict[int, object] = {}
 
     # -- admission ------------------------------------------------------------
     def submit(self, req: ServeRequest) -> bool:
@@ -124,6 +127,12 @@ class FairScheduler:
             req.cost = self.executor.request_cost(req)
         queue.append(req)
         self.board.admitted(req)
+        tracer = self._monitors.tracer
+        if tracer:
+            root = tracer.request_begin(req)
+            self._queue_spans[req.req_id] = tracer.begin(
+                "queued", cat="queue", parent=root, cost=req.cost
+            )
         self._depth_gauge.adjust(+1)
         if not self._kick.triggered:
             self._kick.succeed()
@@ -155,6 +164,7 @@ class FairScheduler:
                     req = queue.popleft()
                     self._depth_gauge.adjust(-1)
                     self._deficit[tenant] -= req.cost
+                    self._dequeued(req)
                     if self.env.now > req.deadline:
                         # Died waiting in the queue.
                         slot.cancel()
@@ -188,28 +198,78 @@ class FairScheduler:
         for rider in merge_window(self.queues, leader, self.batch_max):
             self._depth_gauge.adjust(-1)
             self._deficit[rider.tenant] -= rider.cost
+            self._dequeued(rider)
             if self.env.now > rider.deadline:
                 self.board.settle(rider, EXPIRED)
                 continue
             riders.append(rider)
         return riders
 
+    def _dequeued(self, req: ServeRequest) -> None:
+        """Close the request's "queued" span, if tracing opened one."""
+        span = self._queue_spans.pop(req.req_id, None)
+        if span is not None:
+            span.finish()
+
+    def _attempt_spans(self, batch: List[ServeRequest]) -> List[object]:
+        """One "attempt" span per member; riders reference the leader's
+        span id (``shared``) so the critical-path analyzer attributes
+        the single shared fan-out to every member of the batch."""
+        tracer = self._monitors.tracer
+        lead = batch[0]
+        lead_span = tracer.begin(
+            "attempt",
+            cat="attempt",
+            parent=tracer.request_span(lead.req_id),
+            attempt=lead.attempts,
+            members=len(batch),
+        )
+        spans = [lead_span]
+        for rider in batch[1:]:
+            spans.append(
+                tracer.begin(
+                    "attempt",
+                    cat="attempt",
+                    parent=tracer.request_span(rider.req_id),
+                    attempt=rider.attempts,
+                    members=len(batch),
+                    shared=lead_span.sid,
+                )
+            )
+        return spans
+
     # -- per-batch execution with retry ---------------------------------------
     def _attempt(self, batch: List[ServeRequest], slot):
+        tracer = self._monitors.tracer
         try:
             for req in batch:
                 req.started = self.env.now
             while True:
                 for req in batch:
                     req.attempts += 1
+                spans = self._attempt_spans(batch) if tracer else ()
+                lead_span = spans[0] if spans else NULL_SPAN
                 try:
+                    # The span kwarg only goes out when tracing opened
+                    # spans, so untraced runs keep the original executor
+                    # contract (stub executors need not accept it).
                     if len(batch) == 1:
-                        result = yield self.executor.execute(batch[0])
+                        result = yield (
+                            self.executor.execute(batch[0], span=lead_span)
+                            if spans
+                            else self.executor.execute(batch[0])
+                        )
                     else:
-                        result = yield self.executor.execute_batch(list(batch))
+                        result = yield (
+                            self.executor.execute_batch(list(batch), span=lead_span)
+                            if spans
+                            else self.executor.execute_batch(list(batch))
+                        )
                 except ServeError:
                     raise  # accounting bugs must not be retried into silence
                 except Exception as exc:  # noqa: BLE001 - backend fault domain
+                    for span in spans:
+                        span.finish(status="error", error=type(exc).__name__)
                     if batch[0].attempts >= self.retry.max_attempts:
                         for req in batch:
                             req.finished = self.env.now
@@ -218,9 +278,24 @@ class FairScheduler:
                         return
                     for req in batch:
                         self.board.retried(req)
+                    backoffs = [
+                        tracer.begin(
+                            "backoff",
+                            cat="backoff",
+                            parent=tracer.request_span(req.req_id),
+                            attempt=req.attempts,
+                        )
+                        for req in batch
+                    ] if tracer else ()
                     yield self.env.timeout(self.retry.delay(batch[0].attempts))
+                    for span in backoffs:
+                        span.finish()
                     continue
                 scatter_result(batch, result, self.env.now)
+                if spans:
+                    lead_span.event("scatter", members=len(batch))
+                    for span in spans:
+                        span.finish(status="ok")
                 for req in batch:
                     outcome = COMPLETED if req.finished <= req.deadline else LATE
                     self.board.settle(req, outcome)

@@ -24,6 +24,7 @@ from ..faults import FaultInjector, FaultPlan, RecoveryPolicy
 from ..kernels.base import KernelRegistry
 from ..metrics.autoscale import autoscale_summary
 from ..metrics.faults import fault_summary
+from ..metrics.registry import MetricRegistry
 from ..pfs.filesystem import ParallelFileSystem
 from ..units import KiB
 from .autoscale import AutoscaleController, AutoscalePolicy
@@ -71,6 +72,11 @@ class ServeConfig:
     #: default) leaves the run event-for-event identical to a build
     #: without the autoscale subsystem.
     autoscale: Optional[AutoscalePolicy] = None
+    #: Optional :class:`~repro.obs.Tracer` recording per-request spans.
+    #: ``None`` (the default) installs the falsy NULL_TRACER, making
+    #: every instrumentation site a single attribute read — the event
+    #: stream is bit-identical either way.
+    tracer: Optional[object] = None
 
 
 class ServeSystem:
@@ -87,7 +93,14 @@ class ServeSystem:
         self.pfs = pfs
         self.cluster = pfs.cluster
         self.config = config
-        self.board = SLOBoard(self.cluster.monitors)
+        if config.tracer is not None:
+            env = self.cluster.env
+            config.tracer.bind(lambda: env.now)
+            self.cluster.monitors.tracer = config.tracer
+        #: Declared catalog over the hub's counters/gauges plus the
+        #: serving-latency histograms observed by the SLO board.
+        self.metrics = MetricRegistry(self.cluster.monitors)
+        self.board = SLOBoard(self.cluster.monitors, registry=self.metrics)
         if config.recovery is not None:
             pfs.set_recovery(config.recovery)
         self.executor = LoadAwareExecutor(

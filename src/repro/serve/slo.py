@@ -141,8 +141,13 @@ class SLOBoard:
         self,
         monitors: Optional[MonitorHub] = None,
         window_horizon: float = WINDOW_HORIZON,
+        registry=None,
     ):
         self.monitors = monitors
+        #: Optional :class:`~repro.metrics.registry.MetricRegistry`;
+        #: finished-request latencies are mirrored into its
+        #: ``serve.latency`` histograms (overall + per tenant).
+        self.registry = registry
         self.tenants: Dict[str, TenantStats] = {}
         #: Sliding window over finished-request latencies (completed and
         #: late alike): the signal the autoscale controller watches.
@@ -174,6 +179,10 @@ class SLOBoard:
             raise ServeError(f"request {req.req_id} was already admitted")
         self._stats(req.tenant).rejected += 1
         self._count("rejected")
+        if self.monitors is not None and self.monitors.tracer:
+            self.monitors.tracer.instant(
+                "admission.reject", track="serve", tenant=req.tenant, file=req.file
+            )
 
     def retried(self, req: ServeRequest) -> None:
         self._stats(req.tenant).retries += 1
@@ -197,7 +206,14 @@ class SLOBoard:
         if outcome in (COMPLETED, LATE):
             stats.latencies.append(req.latency())
             self.window.record(req.finished, req.latency())
+            if self.registry is not None:
+                self.registry.histogram("serve.latency").observe(req.latency())
+                self.registry.histogram(
+                    f"serve.latency.{req.tenant}"
+                ).observe(req.latency())
         self._count(outcome)
+        if self.monitors is not None and self.monitors.tracer:
+            self.monitors.tracer.request_end(req.req_id, outcome)
 
     # -- invariants ------------------------------------------------------------
     @property

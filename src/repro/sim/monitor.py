@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.span import NULL_TRACER
 from .core import Environment
 
 
@@ -86,6 +87,10 @@ class MonitorHub:
         self.gauges: Dict[str, Gauge] = {}
         self.trace_enabled = trace
         self.trace: List[TraceRecord] = []
+        # Request tracer hook: the falsy NULL_TRACER unless a serving
+        # run installs a live repro.obs.Tracer.  Imported lazily-at-
+        # module-level from obs, which depends on nothing in repro.sim.
+        self.tracer = NULL_TRACER
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
@@ -112,6 +117,18 @@ class MonitorHub:
     def snapshot(self) -> Dict[str, float]:
         """All counter values, for end-of-run reporting."""
         return {name: c.value for name, c in self.counters.items()}
+
+    def reset(self) -> None:
+        """Clear every counter, gauge, trace record and the tracer hook.
+
+        Gauges restart at level 0 *from the current clock* — the
+        accumulated time-weighted area is discarded, so a hub reused
+        across back-to-back runs reports each run's own averages.
+        """
+        self.counters.clear()
+        self.gauges.clear()
+        self.trace.clear()
+        self.tracer = NULL_TRACER
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

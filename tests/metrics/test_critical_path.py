@@ -1,0 +1,180 @@
+"""Critical-path attribution on hand-built span trees."""
+
+import pytest
+
+from repro.metrics.critical_path import (
+    STAGES,
+    critical_path,
+    request_attribution,
+)
+from repro.obs import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class Req:
+    def __init__(self, req_id, arrival=0.0, tenant="alpha"):
+        self.req_id = req_id
+        self.arrival = arrival
+        self.tenant = tenant
+        self.file = "dem_a"
+        self.operator = "gaussian"
+        self.deadline = 1.0
+
+
+def make_tracer():
+    clock = FakeClock()
+    return Tracer(clock=clock), clock
+
+
+def span_at(tracer, clock, name, cat, start, end, parent=None, **attrs):
+    clock.t = start
+    span = tracer.begin(name, cat=cat, parent=parent, **attrs)
+    clock.t = end
+    span.finish()
+    return span
+
+
+def finish_request(tracer, clock, req_id, end, outcome="completed"):
+    clock.t = end
+    tracer.request_end(req_id, outcome)
+
+
+class TestSingleRequest:
+    def test_stages_partition_the_latency_exactly(self):
+        tracer, clock = make_tracer()
+        root = tracer.request_begin(Req(1))
+        span_at(tracer, clock, "queued", "queue", 0.0, 2.0, parent=root)
+        attempt = span_at(tracer, clock, "attempt", "attempt", 2.0, 10.0, parent=root)
+        span_at(tracer, clock, "rpc", "rpc", 3.0, 7.0, parent=attempt)
+        finish_request(tracer, clock, 1, 10.0)
+
+        attribution = request_attribution(tracer, 1)
+        assert attribution.latency == 10.0
+        assert attribution.stages == {"queue": 2.0, "attempt": 4.0, "rpc": 4.0}
+        assert attribution.total == pytest.approx(attribution.latency)
+        assert attribution.coverage == 1.0
+
+    def test_uncovered_segments_are_unattributed(self):
+        tracer, clock = make_tracer()
+        root = tracer.request_begin(Req(1))
+        span_at(tracer, clock, "queued", "queue", 0.0, 2.0, parent=root)
+        span_at(tracer, clock, "attempt", "attempt", 4.0, 10.0, parent=root)
+        finish_request(tracer, clock, 1, 10.0)
+
+        attribution = request_attribution(tracer, 1)
+        assert attribution.stages["unattributed"] == pytest.approx(2.0)
+        assert attribution.coverage == pytest.approx(0.8)
+        # Even so, the stages still sum to the latency.
+        assert attribution.total == pytest.approx(10.0)
+
+    def test_deepest_span_wins_each_segment(self):
+        tracer, clock = make_tracer()
+        root = tracer.request_begin(Req(1))
+        attempt = span_at(tracer, clock, "attempt", "attempt", 0.0, 10.0, parent=root)
+        offload = span_at(tracer, clock, "offload", "offload", 0.0, 10.0, parent=attempt)
+        span_at(tracer, clock, "rpc", "rpc", 0.0, 10.0, parent=offload)
+        finish_request(tracer, clock, 1, 10.0)
+
+        attribution = request_attribution(tracer, 1)
+        # Self-time semantics: fully covered parents contribute nothing.
+        assert attribution.stages == {"rpc": 10.0}
+
+    def test_children_are_clipped_to_the_root_interval(self):
+        tracer, clock = make_tracer()
+        root = tracer.request_begin(Req(1))
+        # A detached RPC outliving the request must not inflate it.
+        span_at(tracer, clock, "rpc", "rpc", 5.0, 20.0, parent=root)
+        finish_request(tracer, clock, 1, 10.0)
+
+        attribution = request_attribution(tracer, 1)
+        assert attribution.stages == {
+            "unattributed": pytest.approx(5.0),
+            "rpc": pytest.approx(5.0),
+        }
+        assert attribution.total == pytest.approx(10.0)
+
+    def test_unsettled_request_yields_none(self):
+        tracer, clock = make_tracer()
+        tracer.request_begin(Req(1))  # never ended
+        assert request_attribution(tracer, 1) is None
+        assert request_attribution(tracer, 404) is None
+
+
+class TestBatchRiders:
+    def test_rider_follows_the_shared_leader_fanout(self):
+        tracer, clock = make_tracer()
+        lead_root = tracer.request_begin(Req(1))
+        rider_root = tracer.request_begin(Req(2))
+        lead = span_at(
+            tracer, clock, "attempt", "attempt", 1.0, 9.0, parent=lead_root
+        )
+        span_at(tracer, clock, "rpc", "rpc", 2.0, 8.0, parent=lead)
+        # The rider's attempt has no children of its own; it names the
+        # leader's attempt via ``shared``.
+        span_at(
+            tracer, clock, "attempt", "attempt", 1.0, 9.0,
+            parent=rider_root, shared=lead.sid,
+        )
+        finish_request(tracer, clock, 1, 9.0)
+        finish_request(tracer, clock, 2, 9.0)
+
+        lead_attr = request_attribution(tracer, 1)
+        rider_attr = request_attribution(tracer, 2)
+        assert rider_attr.stages["rpc"] == pytest.approx(6.0)
+        assert rider_attr.stages == lead_attr.stages
+
+
+class TestReport:
+    def _run(self):
+        tracer, clock = make_tracer()
+        for req_id, outcome in ((1, "completed"), (2, "late"), (3, "failed")):
+            root = tracer.request_begin(Req(req_id, tenant=f"t{req_id}"))
+            span_at(tracer, clock, "queued", "queue", 0.0, 1.0, parent=root)
+            span_at(tracer, clock, "rpc", "rpc", 1.0, 4.0, parent=root)
+            finish_request(tracer, clock, req_id, 4.0, outcome=outcome)
+        return tracer
+
+    def test_only_finished_outcomes_enter_the_report(self):
+        report = critical_path(self._run())
+        assert report.count == 2  # failed request excluded
+        assert {r.outcome for r in report.requests} == {"completed", "late"}
+
+    def test_bounds_and_table(self):
+        report = critical_path(self._run())
+        assert report.min_coverage() == 1.0
+        assert report.max_attribution_error() == pytest.approx(0.0)
+        table = {row["stage"]: row for row in report.table()}
+        assert table["queue"]["seconds"] == pytest.approx(2.0)
+        assert table["rpc"]["seconds"] == pytest.approx(6.0)
+        assert table["rpc"]["share"] == pytest.approx(0.75)
+
+    def test_req_ids_filter_restricts_the_sample(self):
+        report = critical_path(self._run(), req_ids=[2])
+        assert [r.req_id for r in report.requests] == [2]
+
+    def test_as_dict_carries_the_acceptance_fields(self):
+        doc = critical_path(self._run()).as_dict()
+        assert doc["requests"] == 2
+        assert doc["min_coverage"] == 1.0
+        assert doc["max_attribution_error"] == pytest.approx(0.0)
+        assert {row["req_id"] for row in doc["per_request"]} == {1, 2}
+
+    def test_stage_order_is_stable(self):
+        report = critical_path(self._run())
+        stages = [row["stage"] for row in report.table()]
+        assert stages == [s for s in STAGES if s in stages]
+
+    def test_empty_report_is_benign(self):
+        tracer, _ = make_tracer()
+        report = critical_path(tracer)
+        assert report.count == 0
+        assert report.min_coverage() == 1.0
+        assert report.max_attribution_error() == 0.0
+        assert report.table() == []

@@ -1,0 +1,223 @@
+"""Exporter and validator tests on hand-built span trees."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, trace_document, trace_events, validate_trace, write_trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class Req:
+    def __init__(self, req_id, tenant):
+        self.req_id = req_id
+        self.arrival = 0.0
+        self.tenant = tenant
+        self.file = "dem_a"
+        self.operator = "gaussian"
+        self.deadline = 0.5
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    """Two tenants, two requests, one fault instant, one resize span."""
+    tracer = Tracer(clock=clock)
+    for req_id, tenant in ((3, "beta"), (1, "alpha")):
+        root = tracer.request_begin(Req(req_id, tenant))
+        queued = tracer.begin("queued", cat="queue", parent=root)
+        clock.t += 0.1
+        queued.finish()
+        rpc = tracer.begin("as-exec:s0", cat="rpc", parent=root, server="s0")
+        rpc.event("retry", attempt=1)
+        clock.t += 0.2
+        rpc.finish(status="ok")
+        tracer.request_end(req_id, "completed")
+    tracer.instant("fault.crash", track="faults", target="s1")
+    resize = tracer.begin("resize:up", cat="resize", track="autoscale")
+    clock.t += 0.05
+    resize.finish()
+    return tracer
+
+
+class TestLaneMapping:
+    def test_tenants_get_sorted_pids_requests_their_tid(self, tracer):
+        events = trace_events(tracer)
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M"
+        }
+        assert names[(0, 0)] == "system"
+        assert names[(1, 0)] == "tenant alpha"  # sorted: alpha < beta
+        assert names[(2, 0)] == "tenant beta"
+        assert names[(1, 1)] == "req 1"
+        assert names[(2, 3)] == "req 3"
+
+    def test_system_lanes_are_fixed(self, tracer):
+        events = trace_events(tracer)
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["pid"] == 0 and e["name"] == "thread_name"
+        }
+        assert names == {"serve": 1, "faults": 2, "autoscale": 3}
+
+    def test_spans_land_on_their_request_lane(self, tracer):
+        events = trace_events(tracer)
+        alpha_spans = [
+            e for e in events if e["ph"] == "X" and (e["pid"], e["tid"]) == (1, 1)
+        ]
+        assert {e["name"] for e in alpha_spans} == {
+            "request",
+            "queued",
+            "as-exec:s0",
+        }
+
+
+class TestEventShapes:
+    def test_timestamps_are_microseconds(self, tracer):
+        events = trace_events(tracer)
+        resize = next(e for e in events if e["name"] == "resize:up")
+        assert resize["ts"] == pytest.approx(600000.0)  # 0.6 s
+        assert resize["dur"] == pytest.approx(50000.0)  # 0.05 s
+
+    def test_span_args_carry_sid_parent_and_attrs(self, tracer):
+        events = trace_events(tracer)
+        rpc = next(e for e in events if e["name"] == "as-exec:s0")
+        assert "sid" in rpc["args"] and "parent" in rpc["args"]
+        assert rpc["args"]["server"] == "s0"
+        assert rpc["args"]["status"] == "ok"
+
+    def test_in_span_marks_are_thread_scoped_instants(self, tracer):
+        events = trace_events(tracer)
+        retry = next(e for e in events if e["name"] == "retry")
+        assert retry["ph"] == "i" and retry["s"] == "t"
+        assert retry["args"] == {"attempt": 1}
+
+    def test_track_instants_are_process_scoped(self, tracer):
+        events = trace_events(tracer)
+        fault = next(e for e in events if e["name"] == "fault.crash")
+        assert fault["ph"] == "i" and fault["s"] == "p"
+        assert (fault["pid"], fault["tid"]) == (0, 2)  # faults lane
+
+    def test_open_spans_are_truncated_at_the_horizon(self, clock):
+        tracer = Tracer(clock=clock)
+        done = tracer.begin("a")
+        clock.t = 2.0
+        done.finish()
+        tracer.begin("leak")  # never finished
+        events = trace_events(tracer)
+        leak = next(e for e in events if e["name"] == "leak")
+        assert leak["args"]["truncated"] is True
+        assert leak["ts"] + leak["dur"] == pytest.approx(2_000_000.0)
+
+
+class TestDocument:
+    def test_document_declares_the_simulated_clock(self, tracer):
+        doc = trace_document(tracer, meta={"cell": "unit"})
+        assert doc["otherData"] == {"clock": "simulated", "cell": "unit"}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_trace_is_deterministic_bytes(self, tracer, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_trace(tracer, a, meta={"cell": "unit"})
+        write_trace(tracer, b, meta={"cell": "unit"})
+        assert a.read_bytes() == b.read_bytes()
+        assert json.loads(a.read_text())["traceEvents"]
+
+    def test_exported_document_validates_clean(self, tracer):
+        assert validate_trace(trace_document(tracer)) == []
+
+
+class TestValidator:
+    def test_rejects_a_document_without_events(self):
+        assert validate_trace({}) == ["top level: no traceEvents list"]
+
+    def test_rejects_unknown_phases_and_missing_fields(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "Q", "name": "x", "pid": 0, "tid": 0},
+                {"ph": "X", "name": "y", "pid": 0},
+            ]
+        }
+        problems = validate_trace(doc)
+        assert any("unknown phase 'Q'" in p for p in problems)
+        assert any("missing 'tid'" in p for p in problems)
+
+    def test_rejects_negative_durations_and_duplicate_sids(self):
+        span = {
+            "ph": "X",
+            "name": "x",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0.0,
+            "dur": -1.0,
+            "args": {"sid": 1},
+        }
+        twin = dict(span, dur=1.0)
+        problems = validate_trace({"traceEvents": [span, twin]})
+        assert any("ends before it starts" in p for p in problems)
+        assert any("duplicate sid 1" in p for p in problems)
+
+    def test_rejects_a_missing_parent(self):
+        doc = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "orphan",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": 0.0,
+                    "dur": 1.0,
+                    "args": {"sid": 5, "parent": 99},
+                }
+            ]
+        }
+        assert any(
+            "parent sid 99 does not exist" in p for p in validate_trace(doc)
+        )
+
+    def _pair(self, child_args, child_ts=0.0, child_dur=2.0):
+        return {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "parent",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": 0.0,
+                    "dur": 1.0,
+                    "args": {"sid": 1},
+                },
+                {
+                    "ph": "X",
+                    "name": "child",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": child_ts,
+                    "dur": child_dur,
+                    "args": dict(child_args, sid=2, parent=1),
+                },
+            ]
+        }
+
+    def test_rejects_a_child_escaping_its_parent(self):
+        problems = validate_trace(self._pair({}))
+        assert any("escapes parent" in p for p in problems)
+
+    def test_detached_children_may_end_late_but_not_start_early(self):
+        assert validate_trace(self._pair({"detached": True})) == []
+        early = self._pair({"detached": True}, child_ts=-1.0, child_dur=0.5)
+        assert any("escapes parent" in p for p in validate_trace(early))
