@@ -13,14 +13,25 @@ Two families of drift this catches:
    renders to that anchor under GitHub's slug rules.
 
 2. **CLI flags.**  Every ``--flag`` a document attributes to the
-   harness must exist in ``repro.harness.runner.build_parser()``.  Two
-   places count as "attributing to the harness": fenced-code lines that
-   invoke ``python -m repro.harness`` or ``das-harness`` (line
+   harness must exist in ``repro.harness.runner.build_parser()`` or in
+   the scenario bench's own parser
+   (``repro.harness.scenario_bench``).  Two places count as
+   "attributing to the harness": fenced-code lines that invoke
+   ``python -m repro.harness...`` or ``das-harness`` (line
    continuations followed), and inline code spans that consist of a
    flag, like ``--batch-max N``.  Flags belonging to other tools
    (pip, pytest) live in :data:`FOREIGN_FLAGS`.
 
-Stdlib only; exits non-zero listing every problem found.
+3. **Scenario schema.**  docs/SCENARIOS.md must document every key of
+   the scenario schema (``repro.scenarios.spec.SCHEMA_SECTIONS``),
+   every declared check (``repro.scenarios.CHECKS``) and every shipped
+   library scenario, each appearing somewhere as inline code; and
+   every field-table row in that document (``| `token` | ...``) must
+   name something the schema actually has — so the doc and the loader
+   cannot drift apart in either direction.
+
+Stdlib only (the flag/schema checks import the repo's own package);
+exits non-zero listing every problem found.
 """
 
 from __future__ import annotations
@@ -43,7 +54,11 @@ DOCUMENTS = (
     "docs/OBSERVABILITY.md",
     "docs/OPERATIONS.md",
     "docs/PAPER_MAP.md",
+    "docs/SCENARIOS.md",
 )
+
+#: The document held to the scenario-schema vocabulary.
+SCENARIOS_DOC = "docs/SCENARIOS.md"
 
 #: Inline-code flags that belong to other tools, not the harness.
 FOREIGN_FLAGS = {
@@ -56,6 +71,8 @@ FENCE_RE = re.compile(r"^(```|~~~)")
 INLINE_CODE_RE = re.compile(r"`([^`]+)`")
 FLAG_RE = re.compile(r"--[a-zA-Z][\w-]*")
 HARNESS_CMD_RE = re.compile(r"repro\.harness|das-harness")
+TABLE_FIELD_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+CODE_TOKEN_RE = re.compile(r"[A-Za-z][\w-]*")
 
 
 def _rel(doc: Path):
@@ -124,13 +141,16 @@ def check_links(doc: Path) -> List[str]:
 
 
 def harness_flags() -> Set[str]:
-    """Option strings of the real harness argparse parser."""
+    """Option strings of the real harness argparse parsers (the main
+    runner plus the scenario bench's standalone entry point)."""
     sys.path.insert(0, str(REPO / "src"))
+    from repro.harness import scenario_bench
     from repro.harness.runner import build_parser
 
     flags: Set[str] = set()
-    for action in build_parser()._actions:
-        flags.update(action.option_strings)
+    for parser in (build_parser(), scenario_bench.build_parser()):
+        for action in parser._actions:
+            flags.update(action.option_strings)
     return flags
 
 
@@ -168,6 +188,53 @@ def check_flags(doc: Path, known: Set[str]) -> List[str]:
     ]
 
 
+def scenario_vocabulary() -> Set[str]:
+    """Every name the scenario subsystem declares: schema keys per
+    section, check-catalog entries, shipped library scenarios."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.scenarios import CHECKS, library_names
+    from repro.scenarios.spec import SCHEMA_SECTIONS
+
+    vocab: Set[str] = set()
+    for keys in SCHEMA_SECTIONS.values():
+        vocab.update(keys)
+    vocab.update(CHECKS)
+    vocab.update(library_names())
+    return vocab
+
+
+def check_scenario_fields(doc: Path, vocab: Set[str]) -> List[str]:
+    """Both drift directions between the scenario doc and the schema:
+    every vocabulary token must appear as inline code somewhere in the
+    doc, and every field-table row (``| `token` | ...``) must name
+    something the schema actually has."""
+    problems = []
+    documented: Set[str] = set()
+    in_fence = False
+    for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if FENCE_RE.match(stripped):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for span in INLINE_CODE_RE.findall(line):
+            documented.update(CODE_TOKEN_RE.findall(span))
+        row = TABLE_FIELD_RE.match(stripped)
+        if row and row.group(1) not in vocab:
+            problems.append(
+                f"{_rel(doc)}:{lineno}: table documents {row.group(1)!r}"
+                " but the scenario schema declares no such"
+                " field/check/scenario"
+            )
+    for token in sorted(vocab - documented):
+        problems.append(
+            f"{_rel(doc)}: schema token {token!r} is never mentioned"
+            " as inline code (document it or remove it from the schema)"
+        )
+    return problems
+
+
 def main() -> int:
     known = harness_flags()
     problems: List[str] = []
@@ -180,6 +247,8 @@ def main() -> int:
         checked += 1
         problems += check_links(doc)
         problems += check_flags(doc, known)
+        if rel == SCENARIOS_DOC:
+            problems += check_scenario_fields(doc, scenario_vocabulary())
     if problems:
         print(f"docs-consistency: {len(problems)} problem(s):")
         for p in problems:

@@ -119,6 +119,15 @@ class FaultSpecError(FaultError):
     """A chaos spec string (or FaultPlan construction) is malformed."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec failed to load, validate, or materialize.
+
+    Loader errors carry the offending spec path in the message
+    (``<scenario>: tenants[1].files: ...``) so a bad spec is fixable
+    without reading the loader source.
+    """
+
+
 class HarnessError(ReproError):
     """Errors raised by the experiment harness."""
 

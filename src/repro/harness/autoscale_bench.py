@@ -35,21 +35,19 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core import KernelFeatures, LayoutOptimizer
-from ..pfs.layout import RoundRobinLayout
 from ..serve import AutoscalePolicy, ServeConfig, ServeSystem
 from ..units import KiB
-from ..workloads import fractal_dem
-from .experiments import ExperimentReport
-from .platform import ExperimentPlatform, build_platform
-from .serve_bench import (
-    DEADLINE,
-    RASTER,
+from .common import (
     SERVE_NODES,
-    SERVE_SPEC,
-    SERVE_STRIP,
-    serve_tenants,
+    build_serve_platform,
+    ingest_files,
+    ingest_partition,
+    scaled_duration,
+    serve_platform,
 )
+from .experiments import ExperimentReport
+from .platform import ExperimentPlatform
+from .serve_bench import DEADLINE, serve_tenants
 
 #: Partition clamp of the autoscale cell (also the two static sizes).
 MIN_SERVERS = 2
@@ -88,27 +86,6 @@ def surge_ramp(duration: float) -> Tuple[Tuple[float, float], ...]:
     return ((0.0, 1.0), (duration / 4, SURGE), (2 * duration / 3, 0.25))
 
 
-def ingest_partition(pfs, name, data, operator, servers) -> None:
-    """DAS-aware ingest confined to the ``servers`` partition.
-
-    Mirrors :func:`~repro.harness.platform.ingest_for_scheme` but plans
-    the improved distribution over a *subset* of the storage servers, so
-    a cell can start on the small partition the way a cost-conscious
-    deployment would.
-    """
-    client = pfs.client(pfs.cluster.compute_names[0])
-    tmp_layout = RoundRobinLayout(servers, pfs.strip_size)
-    meta = pfs.metadata.create(
-        f"__plan__{name}", data.nbytes, tmp_layout, dtype=data.dtype,
-        shape=data.shape,
-    )
-    plan = LayoutOptimizer().plan(
-        meta, KernelFeatures.from_registry().get(operator), servers=servers
-    )
-    pfs.metadata.unlink(f"__plan__{name}")
-    client.ingest(name, data, plan.layout if plan.layout is not None else tmp_layout)
-
-
 def autoscale_cell(
     clamp_min: int,
     clamp_max: int,
@@ -119,12 +96,11 @@ def autoscale_cell(
 ) -> Tuple[Dict[str, object], ServeSystem]:
     """One ramped serving run; returns the summary and the live system
     (the bench reads the controller trace and per-request digests)."""
-    platform = platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
-    cluster, pfs = build_platform(SERVE_NODES, platform)
+    platform = serve_platform(platform)
+    cluster, pfs = build_serve_platform(platform)
     rng = np.random.default_rng(platform.seed)
     subset = pfs.server_names[:ingest_servers]
-    for name in ("dem_a", "dem_b"):
-        ingest_partition(pfs, name, fractal_dem(*RASTER, rng=rng), "gaussian", subset)
+    ingest_files(pfs, "DAS", rng, policy="partition", servers=subset)
     policy = AutoscalePolicy(
         min_servers=clamp_min,
         max_servers=clamp_max,
@@ -174,7 +150,7 @@ def _row(name: str, summary: Dict[str, object], system: ServeSystem) -> dict:
 
 
 def autoscale_bench(
-    platform=None, scale=None, verify=True, trace_dir=None
+    platform=None, scale=None, verify=True, trace_dir=None, trace_sample: int = 1
 ) -> ExperimentReport:
     """The autoscaling comparison (registered as ``autoscale-bench``).
 
@@ -183,9 +159,7 @@ def autoscale_bench(
     scales shorten it proportionally (floor 6 s — the control loop needs
     a few cooldown periods of calm tail to demonstrate the scale-down).
     """
-    duration = DURATION
-    if scale is not None:
-        duration = max(6.0, DURATION * float(scale) / (1024 * KiB))
+    duration = scaled_duration(scale, DURATION, 6.0)
 
     rows = []
     results: Dict[str, Tuple[Dict[str, object], ServeSystem]] = {}
@@ -338,6 +312,7 @@ def autoscale_bench(
             trace_dir,
             meta={"bench": "autoscale-bench", "cell": "autoscale",
                   "duration": duration},
+            sample=1.0 / max(1, int(trace_sample)),
         )
         checks += trace_checks
 

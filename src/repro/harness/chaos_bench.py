@@ -29,30 +29,24 @@ Every cell is deterministic from the root seed.  The report lands in
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..faults import FaultPlan, RecoveryPolicy
 from ..serve import ServeConfig, ServeSystem
-from ..units import KiB
-from ..workloads import fractal_dem
-from .experiments import ExperimentReport
-from .platform import (
-    ExperimentPlatform,
-    build_platform,
-    ingest_for_scheme,
-)
-from .serve_bench import (
-    DURATION,
+from .common import (
     RASTER,
     SERVE_NODES,
-    SERVE_SPEC,
-    SERVE_STRIP,
-    serve_cell,
-    serve_tenants,
+    build_serve_platform,
+    ingest_files,
+    replicated_ingest,
+    scaled_duration,
+    serve_platform,
 )
+from .experiments import ExperimentReport
+from .platform import ExperimentPlatform
+from .serve_bench import DURATION, serve_cell, serve_tenants
 
 #: Schemes swept through the crash cells, in reporting order.
 CHAOS_SCHEMES = ("TS", "NAS", "DAS")
@@ -83,16 +77,6 @@ CHAOS_RECOVERY = RecoveryPolicy(
 STORM_SLOW_FACTOR = 0.05
 
 
-def replicated_ingest(pfs, name: str, data: np.ndarray) -> None:
-    """Ingest ``data`` fully neighbour-replicated: one group per server
-    with ``halo_strips == group``, so every strip lives on its primary
-    and both neighbouring servers and any single crash is survivable."""
-    n_strips = max(1, math.ceil(data.nbytes / pfs.strip_size))
-    group = max(1, math.ceil(n_strips / len(pfs.server_names)))
-    layout = pfs.replicated_grouped(group, halo_strips=group)
-    pfs.client(pfs.cluster.compute_names[0]).ingest(name, data, layout)
-
-
 def chaos_cell(
     scheme: str,
     duration: float,
@@ -110,15 +94,10 @@ def chaos_cell(
     cell with ``faults=None, recovery=None, replicated=False`` and the
     serve-bench deadline reproduces a serve-bench cell bit-identically.
     """
-    platform = platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
-    cluster, pfs = build_platform(SERVE_NODES, platform)
+    platform = serve_platform(platform)
+    cluster, pfs = build_serve_platform(platform)
     rng = np.random.default_rng(platform.seed)
-    for name in ("dem_a", "dem_b"):
-        data = fractal_dem(*RASTER, rng=rng)
-        if replicated:
-            replicated_ingest(pfs, name, data)
-        else:
-            ingest_for_scheme(pfs, scheme, name, data, "gaussian")
+    ingest_files(pfs, scheme, rng, policy="replicated" if replicated else "scheme")
     config = ServeConfig(
         tenants=serve_tenants(),
         scheme=scheme,
@@ -196,6 +175,7 @@ def chaos_bench(
     schemes: Sequence[str] = CHAOS_SCHEMES,
     chaos_spec: Optional[str] = None,
     trace_dir=None,
+    trace_sample: int = 1,
 ) -> ExperimentReport:
     """The fault-injection sweep (registered as ``chaos-bench``).
 
@@ -204,15 +184,10 @@ def chaos_bench(
     ``chaos_spec`` optionally appends one extra DAS cell driven by a
     user-supplied fault schedule (see ``FaultPlan.parse``).
     """
-    duration = DURATION
-    if scale is not None:
-        duration = max(1.5, DURATION * float(scale) / (1024 * KiB))
+    duration = scaled_duration(scale, DURATION, 1.5)
     # One platform just to name servers for the plans; cells build their
     # own identical platforms from the same seed.
-    _, plan_pfs = build_platform(
-        SERVE_NODES,
-        platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP),
-    )
+    _, plan_pfs = build_serve_platform(platform)
     crash = single_crash_plan(plan_pfs, duration)
     storm = storm_plan(plan_pfs, duration)
 
@@ -420,6 +395,7 @@ def chaos_bench(
             trace_dir,
             meta={"bench": "chaos-bench", "cell": "storm-DAS",
                   "duration": duration},
+            sample=1.0 / max(1, int(trace_sample)),
         )
         checks += trace_checks
 

@@ -418,6 +418,15 @@ from .autoscale_bench import autoscale_bench  # noqa: E402  (needs ExperimentRep
 from .chaos_bench import chaos_bench  # noqa: E402  (needs ExperimentReport above)
 from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
 
+
+def _scenario_bench(**kwargs) -> ExperimentReport:
+    # Imported lazily: scenario_bench is also a runnable module
+    # (``python -m repro.harness.scenario_bench``), and importing it
+    # here would shadow that execution with a stale sys.modules entry.
+    from .scenario_bench import scenario_bench
+
+    return scenario_bench(**kwargs)
+
 #: Experiment id -> regenerator.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1,
@@ -430,6 +439,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "serve-bench": serve_bench,
     "chaos-bench": chaos_bench,
     "autoscale-bench": autoscale_bench,
+    "scenario-bench": _scenario_bench,
 }
 
 

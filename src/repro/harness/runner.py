@@ -19,6 +19,7 @@ import time
 from typing import List, Optional
 
 from ..units import KiB
+from .common import add_bench_arguments
 from .experiments import EXPERIMENTS, run_experiment
 
 
@@ -32,32 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id (paper table/figure) or 'all'",
     )
-    parser.add_argument(
-        "--scale-kb",
-        type=int,
-        default=1024,
-        help="simulated KiB per paper GB label (default 1024)",
-    )
-    parser.add_argument(
-        "--no-verify",
-        action="store_true",
-        help="skip output-vs-reference verification (faster)",
-    )
-    parser.add_argument(
-        "--output-dir",
-        default=None,
-        metavar="DIR",
-        help="also save each report as DIR/<experiment>.json and .csv",
-    )
-    parser.add_argument(
-        "--bench-dir",
-        default=None,
-        metavar="DIR",
-        help=(
-            "write the machine-readable perf trajectory"
-            " (BENCH_serve.json / BENCH_paper.json) under DIR"
-        ),
-    )
+    add_bench_arguments(parser)
     parser.add_argument(
         "--chaos-spec",
         default=None,
@@ -68,17 +44,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--trace-dir",
-        default=None,
-        metavar="DIR",
-        help=(
-            "serve/chaos/autoscale benches: re-run one representative cell"
-            " with request tracing on, write DIR/<cell>.trace.json"
-            " (Perfetto-loadable) and <cell>.attribution.json, and check"
-            " the traced run is bit-identical to the untraced one"
-        ),
-    )
-    parser.add_argument(
         "--batch-max",
         type=int,
         default=None,
@@ -86,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve-bench only: merge up to N same-(file, kernel) requests"
             " into one fan-out (1 disables batching; default: bench default)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help=(
+            "scenario-bench only: run this library scenario (by name) or"
+            " spec file instead of the whole library; repeatable"
         ),
     )
     return parser
@@ -102,25 +77,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["batch_max"] = args.batch_max
         if name == "chaos-bench" and args.chaos_spec is not None:
             kwargs["chaos_spec"] = args.chaos_spec
+        if name == "scenario-bench" and args.scenario is not None:
+            kwargs["scenarios"] = tuple(args.scenario)
         if args.trace_dir is not None and name in (
             "serve-bench",
             "chaos-bench",
             "autoscale-bench",
+            "scenario-bench",
         ):
             kwargs["trace_dir"] = args.trace_dir
+            kwargs["trace_sample"] = args.trace_sample
         begin = time.perf_counter()
         report = run_experiment(name, **kwargs)
         timed.append((report, time.perf_counter() - begin))
         print(report.to_text())
         print()
         if args.output_dir:
-            from pathlib import Path
+            from .common import save_reports
 
-            from .export import save_report
-
-            base = Path(args.output_dir)
-            for suffix in (".json", ".csv"):
-                save_report(report, base / f"{name}{suffix}")
+            save_reports(args.output_dir, [report])
         if not report.all_checks_pass:
             failures += 1
     if args.bench_dir:

@@ -1,0 +1,202 @@
+"""scenario-bench: run declarative scenarios and enforce their gates.
+
+Each cell is one :class:`~repro.scenarios.ScenarioSpec` — a whole
+serving experiment (topology, tenant mix, ramps, chaos, autoscaling)
+declared as a JSON document with its own ``checks`` section.  The
+bench materializes every requested scenario, runs it, evaluates the
+declared checks, and proves bit-identical replay per scenario, so the
+named library under ``src/repro/scenarios/library/`` doubles as an
+executable regression suite over the serving stack::
+
+    python -m repro.harness.scenario_bench --library --bench-dir benchmarks/
+    python -m repro.harness.scenario_bench --scenario black-friday
+    python -m repro.harness.scenario_bench --scenario my_spec.json
+
+Scenarios pin their own durations (a few simulated seconds each) so
+their calibrated check thresholds hold at every harness ``--scale-kb``;
+the scale flag is accepted for CLI uniformity but does not stretch
+scenario runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scenarios import (
+    ScenarioSpec,
+    evaluate_checks,
+    library_names,
+    load_scenario,
+    reference_spec,
+    run_scenario,
+)
+from .experiments import ExperimentReport
+
+#: Wall-clock cheap library members CI smokes on every push.
+SMOKE_SCENARIOS = ("rolling-upgrade", "region-loss")
+
+
+def _resolve(scenarios: Optional[Sequence[object]]) -> List[ScenarioSpec]:
+    """Names, paths, dicts or ready specs -> validated specs, in order."""
+    if scenarios is None:
+        scenarios = library_names()
+    return [
+        entry if isinstance(entry, ScenarioSpec) else load_scenario(entry)
+        for entry in scenarios
+    ]
+
+
+def _scenario_row(spec: ScenarioSpec, summary: dict) -> dict:
+    t = summary["tenants"]["_all"]
+    row = {
+        "scenario": spec.name,
+        "scheme": spec.topology.scheme,
+        "tenants": len(spec.tenants),
+        "generated": summary["generated"],
+        "admitted": summary["admitted"],
+        "completed": t["completed"],
+        "late": t["late"],
+        "expired": t["expired"],
+        "rejected": t["rejected"],
+        "failed": t["failed"],
+        "availability": round(t["availability"], 4),
+        "p99_s": round(t["lat_p99"], 4) if t["lat_p99"] is not None else None,
+        "checks_declared": len(spec.checks),
+    }
+    if "autoscale" in summary:
+        row["final_partition"] = summary["autoscale"]["active"]
+    if "faults" in summary:
+        row["failover_reads"] = summary["faults"]["failover_reads"]
+    return row
+
+
+def scenario_bench(
+    platform=None,
+    scale=None,
+    verify: bool = True,
+    scenarios: Optional[Sequence[object]] = None,
+    trace_dir=None,
+    trace_sample: int = 1,
+) -> ExperimentReport:
+    """Run scenarios and their gates (registered as ``scenario-bench``).
+
+    ``scenarios`` selects what runs: library names, spec-file paths,
+    raw dicts, or loaded specs; ``None`` runs the whole library.
+    ``scale`` is ignored — every scenario declares its own duration so
+    its calibrated thresholds stay meaningful (noted in the report).
+    ``verify`` re-runs each scenario and asserts the summary (resizes,
+    fault tallies and digests included) is bit-identical.
+    """
+    specs = _resolve(scenarios)
+
+    rows = []
+    checks: List[Tuple[str, bool]] = []
+    results: Dict[str, Tuple[dict, Dict[int, int]]] = {}
+    for spec in specs:
+        summary, digests = run_scenario(spec, platform=platform)
+        results[spec.name] = (summary, digests)
+        rows.append(_scenario_row(spec, summary))
+        reference = None
+        if any(c.check == "crc_identity" for c in spec.checks):
+            # The fault-free twin every surviving result must match.
+            reference = run_scenario(reference_spec(spec), platform=platform)
+        for label, ok in evaluate_checks(
+            spec.checks, summary, digests=digests, reference=reference
+        ):
+            checks.append((f"{spec.name}: {label}", ok))
+        if verify:
+            replay_summary, replay_digests = run_scenario(spec, platform=platform)
+            checks.append(
+                (
+                    f"{spec.name}: bit-identical replay (summary and"
+                    " per-request digests reproduce from the spec alone)",
+                    replay_summary == summary and replay_digests == digests,
+                )
+            )
+
+    if trace_dir is not None:
+        from .tracing import traced_replay
+
+        first = specs[0]
+        trace_checks, _ = traced_replay(
+            f"scenario-{first.name}",
+            lambda tracer: run_scenario(first, platform=platform, tracer=tracer)[0],
+            results[first.name][0],
+            trace_dir,
+            meta={"bench": "scenario-bench", "scenario": first.name},
+            sample=1.0 / max(1, int(trace_sample)),
+        )
+        checks += trace_checks
+
+    return ExperimentReport(
+        experiment="scenario-bench",
+        title="Declarative scenarios: library runs vs their declared gates",
+        rows=rows,
+        checks=checks,
+        notes=(
+            f"{len(specs)} scenario(s); every check above is declared in"
+            " the scenario document itself (see docs/SCENARIOS.md)."
+            " Scenarios pin their own durations, so --scale-kb does not"
+            " stretch them."
+        ),
+    )
+
+
+def build_parser():
+    """The standalone CLI (also introspected by scripts/check_docs.py)."""
+    import argparse
+
+    from .common import add_bench_arguments
+
+    parser = argparse.ArgumentParser(
+        prog="scenario-bench",
+        description="Run declarative scenarios and enforce their pass/fail gates.",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--library",
+        action="store_true",
+        help="run every named scenario shipped under repro/scenarios/library/",
+    )
+    group.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help="library scenario name or spec-file path; repeatable",
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.harness.scenario_bench``)."""
+    args = build_parser().parse_args(argv)
+
+    import time
+
+    begin = time.perf_counter()
+    report = scenario_bench(
+        scale=args.scale_kb * 1024,
+        verify=not args.no_verify,
+        scenarios=None if args.library else args.scenario,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+    )
+    wall = time.perf_counter() - begin
+    print(report.to_text())
+    if args.output_dir:
+        from .common import save_reports
+
+        save_reports(args.output_dir, [report])
+    if args.bench_dir:
+        from .trajectory import write_trajectory
+
+        for path in write_trajectory(args.bench_dir, [(report, wall)], args.scale_kb):
+            print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.all_checks_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -33,12 +33,19 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import PlatformSpec
 from ..serve import ServeConfig, ServeSystem, TenantSpec
-from ..units import KiB, MiB, us
-from ..workloads import fractal_dem
+from .common import (
+    RASTER,
+    SERVE_NODES,
+    SERVE_SPEC,
+    SERVE_STRIP,
+    build_serve_platform,
+    ingest_files,
+    scaled_duration,
+    serve_platform,
+)
 from .experiments import ExperimentReport
-from .platform import ExperimentPlatform, build_platform, ingest_for_scheme
+from .platform import ExperimentPlatform
 
 #: Schemes swept, in reporting order.
 SERVE_SCHEMES = ("TS", "NAS", "DAS")
@@ -61,27 +68,6 @@ DEADLINE = 0.5
 
 #: Seconds of offered load per cell at the default scale.
 DURATION = 6.0
-
-SERVE_NODES = 8
-SERVE_STRIP = 4 * KiB
-RASTER = (128, 192)  # 196608-byte float64 raster
-
-#: Throttled platform: a few requests/second saturate 4 storage nodes,
-#: so queueing dynamics appear at simulable request counts.  Ratios
-#: (NIC below disk, kernels cheap per element vs. moving the element)
-#: match the paper's premise.
-SERVE_SPEC = PlatformSpec(
-    nic_bandwidth=4 * MiB,
-    nic_latency=500 * us,
-    rpc_overhead=200 * us,
-    disk_bandwidth=16 * MiB,
-    kernel_cost={
-        "default": 16e-6,
-        "flow-routing": 24e-6,
-        "flow-accumulation": 32e-6,
-        "gaussian": 40e-6,
-    },
-)
 
 
 def serve_tenants(rate: float = BASE_RATE) -> Tuple[TenantSpec, ...]:
@@ -121,11 +107,10 @@ def serve_cell(
     tracer=None,
 ) -> Dict[str, object]:
     """One serving run: fresh platform, warm ingest, full summary dict."""
-    platform = platform or ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
-    cluster, pfs = build_platform(SERVE_NODES, platform)
+    platform = serve_platform(platform)
+    cluster, pfs = build_serve_platform(platform)
     rng = np.random.default_rng(platform.seed)
-    for name in ("dem_a", "dem_b"):
-        ingest_for_scheme(pfs, scheme, name, fractal_dem(*RASTER, rng=rng), "gaussian")
+    ingest_files(pfs, scheme, rng, policy="scheme")
     config = ServeConfig(
         tenants=serve_tenants(),
         scheme=scheme,
@@ -190,6 +175,7 @@ def serve_bench(
     schemes: Sequence[str] = SERVE_SCHEMES,
     batch_max: int = DEFAULT_BATCH_MAX,
     trace_dir=None,
+    trace_sample: int = 1,
 ) -> ExperimentReport:
     """The serving-layer sweep (registered as ``serve-bench``).
 
@@ -202,9 +188,7 @@ def serve_bench(
     both ways — for the amortisation comparison; ``batch_max=1``
     reproduces the plain three-scheme sweep.
     """
-    duration = DURATION
-    if scale is not None:
-        duration = max(1.5, DURATION * float(scale) / (1024 * KiB))
+    duration = scaled_duration(scale, DURATION, 1.5)
     batching = batch_max > 1 and "DAS" in schemes
     # Cells are (scheme, load, batch_max) triples.
     cells: list = [(scheme, load, 1) for scheme in schemes for load in loads]
@@ -351,6 +335,7 @@ def serve_bench(
                 "load": t_load,
                 "duration": duration,
             },
+            sample=1.0 / max(1, int(trace_sample)),
         )
         checks += trace_checks
 

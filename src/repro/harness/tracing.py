@@ -35,6 +35,7 @@ def traced_replay(
     baseline: Dict[str, object],
     trace_dir,
     meta: Dict[str, object],
+    sample: float = 1.0,
 ) -> Tuple[List[tuple], List[Path]]:
     """Re-run one bench cell traced; returns (checks, written paths).
 
@@ -43,8 +44,15 @@ def traced_replay(
     *same* cell.  Writes ``<label>.trace.json`` (Perfetto-loadable) and
     ``<label>.attribution.json`` (the per-stage time-attribution table
     plus per-request rows) under ``trace_dir``.
+
+    ``sample`` < 1 traces only every Nth request (deterministic by
+    request id; see :class:`~repro.obs.Tracer`).  The non-perturbation
+    identity and the coverage/attribution bounds still hold — the
+    latter over the sampled requests, which are the only ones with
+    span trees.
     """
-    tracer = Tracer()
+    tracer = Tracer(sample=sample)
+    meta = dict(meta, sample_every=tracer.sample_every)
     summary = run_cell(tracer)
 
     out = Path(trace_dir)

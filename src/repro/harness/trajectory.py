@@ -9,7 +9,8 @@ of re-deriving them from logs.
 The serve-bench goes to :data:`SERVE_BENCH_FILE`; the paper regenerators
 (table1, fig10–14, ext-oversub) are folded into :data:`PAPER_BENCH_FILE`;
 the chaos-bench goes to :data:`FAULTS_BENCH_FILE`; the autoscale-bench
-goes to :data:`AUTOSCALE_BENCH_FILE`.
+goes to :data:`AUTOSCALE_BENCH_FILE`; the scenario-bench goes to
+:data:`SCENARIOS_BENCH_FILE`.
 Baselines live under ``benchmarks/`` in the repo; CI regenerates the
 serve file at reduced scale and uploads it as an artifact.  The payload
 shape is documented in docs/BENCHMARKS.md.
@@ -27,6 +28,7 @@ SERVE_BENCH_FILE = "BENCH_serve.json"
 PAPER_BENCH_FILE = "BENCH_paper.json"
 FAULTS_BENCH_FILE = "BENCH_faults.json"
 AUTOSCALE_BENCH_FILE = "BENCH_autoscale.json"
+SCENARIOS_BENCH_FILE = "BENCH_scenarios.json"
 
 #: Experiments recorded into BENCH_paper.json.
 PAPER_EXPERIMENTS = (
@@ -106,6 +108,11 @@ def write_trajectory(
             AUTOSCALE_BENCH_FILE,
             "autoscale",
             [(r, w) for r, w in entries if r.experiment == "autoscale-bench"],
+        ),
+        (
+            SCENARIOS_BENCH_FILE,
+            "scenarios",
+            [(r, w) for r, w in entries if r.experiment == "scenario-bench"],
         ),
     )
     written: List[Path] = []

@@ -189,20 +189,42 @@ NULL_SPAN = NullSpan()
 
 
 class Tracer:
-    """Collects spans and instants against an externally owned clock."""
+    """Collects spans and instants against an externally owned clock.
+
+    ``sample`` (a fraction in ``(0, 1]``, e.g. ``1/8``) keeps only every
+    Nth *request* tree, chosen deterministically by request id — request
+    ``r`` is traced iff ``r % round(1/sample) == 0`` — so a sampled
+    trace of a run is a strict subset of the full trace of the same run
+    and two sampled runs from the same seed pick identical requests.
+    Sampling drops spans, never simulation events: a sampled run's
+    summary is still bit-identical to the untraced run.  System-lane
+    spans and instants (faults, autoscale) are always kept.
+    """
 
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        sample: float = 1.0,
+    ):
+        if not 0.0 < sample <= 1.0:
+            raise ValueError(f"sample must be in (0, 1], got {sample!r}")
         self._clock = clock
+        #: Trace every Nth request (1 = every request).
+        self.sample_every = max(1, round(1.0 / sample))
         self._next_sid = 0
         self._by_sid: Dict[int, Span] = {}
         self.spans: List[Span] = []
         self.instants: List[SpanEvent] = []
         #: Extra lane hint per instant (parallel to :attr:`instants`).
         self._instant_tracks: List[object] = []
-        #: req_id -> root span, the per-request registry.
+        #: req_id -> root span, the per-request registry (sampled only).
         self.requests: Dict[int, Span] = {}
+
+    def sampled(self, req_id: int) -> bool:
+        """Whether this request id is traced under the sampling rate."""
+        return req_id % self.sample_every == 0
 
     def __bool__(self) -> bool:
         return True
@@ -226,13 +248,18 @@ class Tracer:
         at: Optional[float] = None,
         **attrs,
     ) -> Span:
-        """Open a span starting now (or at an explicit time)."""
+        """Open a span starting now (or at an explicit time).
+
+        A :data:`NULL_SPAN` parent means the parent tree was sampled
+        out: the child is dropped too (sampling is inherited), so an
+        unsampled request contributes no spans at all.
+        """
         if isinstance(parent, Span):
             parent_sid = parent.sid
             if track is None:
                 track = parent.track
         elif isinstance(parent, NullSpan):
-            parent_sid = None
+            return NULL_SPAN
         else:
             parent_sid = parent
         sid = self._next_sid
@@ -291,8 +318,15 @@ class Tracer:
         span.finish(**resolved)
 
     # -- per-request registry --------------------------------------------------
-    def request_begin(self, req, at: Optional[float] = None) -> Span:
-        """Open (and register) the root span of an admitted request."""
+    def request_begin(self, req, at: Optional[float] = None):
+        """Open (and register) the root span of an admitted request.
+
+        Returns :data:`NULL_SPAN` (registering nothing) for requests the
+        sampling rate drops; every child span guarded by
+        :meth:`request_span` then collapses to :data:`NULL_SPAN` too.
+        """
+        if not self.sampled(req.req_id):
+            return NULL_SPAN
         root = self.begin(
             "request",
             cat="request",

@@ -1,0 +1,192 @@
+"""The declared pass/fail assertion catalog for scenarios.
+
+Each scenario carries a ``checks`` list; every entry names one check
+from :data:`CHECKS` and the harness evaluates it against the run's
+summary dict.  A check is a *gate*: the scenario bench fails loudly if
+any declared check does not hold, so the library doubles as a
+regression suite over the serving stack.
+
+Two kinds of checks exist:
+
+* **summary checks** read one number out of the run summary (a tenant
+  row, the fault/autoscale block, the decision cache) and compare it
+  against the declared threshold;
+* **identity checks** (``conservation``, ``crc_identity``) assert
+  structural invariants — every admitted request settled exactly once,
+  and per-request result CRCs match a fault-free reference run of the
+  same scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .spec import CheckSpec
+
+#: What a check needs from the scenario before it can be evaluated.
+REQUIRES = ("chaos", "autoscale", "chaos_or_autoscale", "cache")
+
+
+@dataclass(frozen=True)
+class CheckDef:
+    """Catalog entry: argument shape + scenario prerequisites."""
+
+    #: Human-readable comparison, used in the rendered check label.
+    describe: str
+    #: Whether the check takes a numeric ``value`` threshold.
+    needs_value: bool = True
+    #: Whether a ``tenant`` qualifier is meaningful (summary-row checks).
+    allows_tenant: bool = False
+    #: Scenario section the check depends on (see :data:`REQUIRES`).
+    requires: Optional[str] = None
+
+
+#: Every check a scenario may declare.
+CHECKS: Dict[str, CheckDef] = {
+    "availability_min": CheckDef(
+        "availability >=", allows_tenant=True
+    ),
+    "p99_max": CheckDef("p99 latency <=", allows_tenant=True),
+    "throughput_min": CheckDef("throughput >=", allows_tenant=True),
+    "completed_min": CheckDef("completed >=", allows_tenant=True),
+    "rejected_max": CheckDef("rejected <=", allows_tenant=True),
+    "rejected_min": CheckDef("rejected >=", allows_tenant=True),
+    "expired_max": CheckDef("expired <=", allows_tenant=True),
+    "failed_max": CheckDef("failed <=", allows_tenant=True),
+    "conservation": CheckDef("admitted == settled", needs_value=False),
+    "crc_identity": CheckDef(
+        "result CRCs == reference run",
+        needs_value=False,
+        requires="chaos_or_autoscale",
+    ),
+    "scale_ups_min": CheckDef("scale-ups >=", requires="autoscale"),
+    "scale_downs_min": CheckDef("scale-downs >=", requires="autoscale"),
+    "final_partition": CheckDef("final partition ==", requires="autoscale"),
+    "failover_reads_min": CheckDef("failover reads >=", requires="chaos"),
+    "cache_hit_ratio_min": CheckDef("cache hit ratio >=", requires="cache"),
+}
+
+
+def validate_check(
+    check: CheckSpec,
+    *,
+    has_chaos: bool,
+    has_autoscale: bool,
+    has_cache: bool,
+) -> Optional[str]:
+    """Structural validation at load time; returns the problem or None."""
+    definition = CHECKS[check.check]
+    if definition.needs_value and check.value is None:
+        return f"check {check.check!r} needs a numeric 'value'"
+    if not definition.needs_value and check.value is not None:
+        return f"check {check.check!r} takes no 'value'"
+    if check.tenant is not None and not definition.allows_tenant:
+        return f"check {check.check!r} takes no 'tenant' qualifier"
+    missing = {
+        "chaos": "a chaos section" if not has_chaos else None,
+        "autoscale": "an autoscale section" if not has_autoscale else None,
+        "chaos_or_autoscale": (
+            "a chaos or autoscale section"
+            if not (has_chaos or has_autoscale)
+            else None
+        ),
+        "cache": (
+            "scheme 'DAS' (the decision cache)" if not has_cache else None
+        ),
+    }.get(definition.requires or "")
+    if missing:
+        return f"check {check.check!r} requires {missing}"
+    return None
+
+
+def _row(summary: dict, tenant: Optional[str]) -> dict:
+    return summary["tenants"][tenant or "_all"]
+
+
+def evaluate_check(
+    check: CheckSpec,
+    summary: dict,
+    digests: Optional[Dict[int, int]] = None,
+    reference: Optional[Tuple[dict, Dict[int, int]]] = None,
+) -> Tuple[str, bool]:
+    """Evaluate one declared check -> ``(label, passed)``.
+
+    ``digests`` are the run's per-request result CRCs; ``reference`` is
+    the fault-free reference run's ``(summary, digests)`` pair, present
+    only when the scenario declares ``crc_identity``.
+    """
+    kind = check.check
+    where = f"[{check.tenant}] " if check.tenant else ""
+
+    if kind == "conservation":
+        admitted, settled = summary["admitted"], summary["settled"]
+        return (
+            f"conservation: admitted {admitted} == settled {settled}",
+            admitted == settled,
+        )
+    if kind == "crc_identity":
+        assert digests is not None and reference is not None
+        _, ref_digests = reference
+        shared = sorted(set(digests) & set(ref_digests))
+        ok = bool(shared) and all(
+            digests[r] == ref_digests[r] for r in shared
+        )
+        return (
+            f"crc_identity: {len(shared)} shared results match reference",
+            ok,
+        )
+
+    value = check.value
+    if kind in ("scale_ups_min", "scale_downs_min", "final_partition"):
+        block = summary["autoscale"]
+        actual = {
+            "scale_ups_min": block["scale_ups"],
+            "scale_downs_min": block["scale_downs"],
+            "final_partition": block["active"],
+        }[kind]
+        ok = actual == value if kind == "final_partition" else actual >= value
+        return f"{kind}: {actual} vs {value:g}", ok
+    if kind == "failover_reads_min":
+        actual = summary["faults"]["failover_reads"]
+        return f"failover_reads_min: {actual} vs {value:g}", actual >= value
+    if kind == "cache_hit_ratio_min":
+        cache = summary["decision_cache"]
+        lookups = cache["hits"] + cache["misses"]
+        ratio = cache["hits"] / lookups if lookups else 0.0
+        return (
+            f"cache_hit_ratio_min: {ratio:.3f} vs {value:g}",
+            ratio >= value,
+        )
+
+    row = _row(summary, check.tenant)
+    if kind == "p99_max":
+        p99 = row["lat_p99"]
+        ok = p99 is not None and p99 <= value
+        shown = "n/a" if p99 is None else f"{p99:.4f}"
+        return f"{where}p99_max: {shown} vs {value:g}", ok
+    field = {
+        "availability_min": "availability",
+        "throughput_min": "throughput",
+        "completed_min": "completed",
+        "rejected_max": "rejected",
+        "rejected_min": "rejected",
+        "expired_max": "expired",
+        "failed_max": "failed",
+    }[kind]
+    actual = row[field]
+    ok = actual >= value if kind.endswith("_min") else actual <= value
+    return f"{where}{kind}: {actual:g} vs {value:g}", ok
+
+
+def evaluate_checks(
+    checks: Tuple[CheckSpec, ...],
+    summary: dict,
+    digests: Optional[Dict[int, int]] = None,
+    reference: Optional[Tuple[dict, Dict[int, int]]] = None,
+) -> List[Tuple[str, bool]]:
+    """Evaluate every declared check in declaration order."""
+    return [
+        evaluate_check(check, summary, digests=digests, reference=reference)
+        for check in checks
+    ]

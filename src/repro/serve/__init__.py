@@ -27,7 +27,7 @@ from .slo import (
     SLOWindow,
     TenantStats,
 )
-from .workload import OpenLoopWorkload, ServeRequest, TenantSpec
+from .workload import ClosedLoopWorkload, OpenLoopWorkload, ServeRequest, TenantSpec
 
 __all__ = [
     "COMPLETED",
@@ -39,6 +39,7 @@ __all__ = [
     "AutoscaleController",
     "AutoscalePolicy",
     "BatchStats",
+    "ClosedLoopWorkload",
     "FairScheduler",
     "LoadAwareExecutor",
     "OpenLoopWorkload",

@@ -212,30 +212,30 @@ class FairScheduler:
             span.finish()
 
     def _attempt_spans(self, batch: List[ServeRequest]) -> List[object]:
-        """One "attempt" span per member; riders reference the leader's
-        span id (``shared``) so the critical-path analyzer attributes
-        the single shared fan-out to every member of the batch."""
+        """One "attempt" span per member; non-anchor members reference
+        the anchor's span id (``shared``) so the critical-path analyzer
+        attributes the single shared fan-out to every member of the
+        batch.  The anchor is the first *sampled* member — normally the
+        leader, but under trace sampling the leader's tree may be
+        dropped while a rider's is kept, and the fan-out must then hang
+        off the rider so its trace stays complete."""
         tracer = self._monitors.tracer
-        lead = batch[0]
-        lead_span = tracer.begin(
-            "attempt",
-            cat="attempt",
-            parent=tracer.request_span(lead.req_id),
-            attempt=lead.attempts,
-            members=len(batch),
-        )
-        spans = [lead_span]
-        for rider in batch[1:]:
-            spans.append(
-                tracer.begin(
-                    "attempt",
-                    cat="attempt",
-                    parent=tracer.request_span(rider.req_id),
-                    attempt=rider.attempts,
-                    members=len(batch),
-                    shared=lead_span.sid,
-                )
+        spans: List[object] = []
+        anchor = None
+        for member in batch:
+            span = tracer.begin(
+                "attempt",
+                cat="attempt",
+                parent=tracer.request_span(member.req_id),
+                attempt=member.attempts,
+                members=len(batch),
             )
+            if span:
+                if anchor is None:
+                    anchor = span
+                else:
+                    span.annotate(shared=anchor.sid)
+            spans.append(span)
         return spans
 
     # -- per-batch execution with retry ---------------------------------------
@@ -248,7 +248,7 @@ class FairScheduler:
                 for req in batch:
                     req.attempts += 1
                 spans = self._attempt_spans(batch) if tracer else ()
-                lead_span = spans[0] if spans else NULL_SPAN
+                lead_span = next((s for s in spans if s), NULL_SPAN)
                 try:
                     # The span kwarg only goes out when tracing opened
                     # spans, so untraced runs keep the original executor

@@ -31,7 +31,7 @@ from .autoscale import AutoscaleController, AutoscalePolicy
 from .dispatch import SCHEMES, LoadAwareExecutor
 from .scheduler import FairScheduler, RetryPolicy
 from .slo import SLOBoard
-from .workload import OpenLoopWorkload, TenantSpec
+from .workload import ClosedLoopWorkload, OpenLoopWorkload, TenantSpec
 
 
 @dataclass(frozen=True)
@@ -135,14 +135,38 @@ class ServeSystem:
             retry=config.retry,
             batch_max=config.batch_max,
         )
-        self.workload = OpenLoopWorkload(
-            self.cluster,
-            config.tenants,
-            duration=config.duration,
-            deadline=config.deadline,
-            load=config.load,
-            ramp=config.ramp,
-        )
+        # Tenants choose their arrival model individually; a run may mix
+        # open-loop (rate-driven) and closed-loop (population-driven)
+        # tenants, each workload driving the same admission controller.
+        if not config.tenants:
+            raise ServeError("serving run needs at least one tenant")
+        open_tenants = tuple(t for t in config.tenants if t.mode == "open")
+        closed_tenants = tuple(t for t in config.tenants if t.mode == "closed")
+        workloads = []
+        if open_tenants:
+            workloads.append(
+                OpenLoopWorkload(
+                    self.cluster,
+                    open_tenants,
+                    duration=config.duration,
+                    deadline=config.deadline,
+                    load=config.load,
+                    ramp=config.ramp,
+                )
+            )
+        if closed_tenants:
+            workloads.append(
+                ClosedLoopWorkload(
+                    self.cluster,
+                    closed_tenants,
+                    duration=config.duration,
+                    deadline=config.deadline,
+                )
+            )
+        self.workloads = tuple(workloads)
+        #: The primary (open-loop when present) workload, kept as an
+        #: attribute for callers that predate mixed-mode runs.
+        self.workload = self.workloads[0]
         self.autoscaler: Optional[AutoscaleController] = None
         if config.autoscale is not None:
             files = sorted({f for t in config.tenants for f in t.files})
@@ -168,7 +192,8 @@ class ServeSystem:
             self.injector.start()
         if self.autoscaler is not None:
             self.autoscaler.start()
-        self.workload.start(self.scheduler)
+        for workload in self.workloads:
+            workload.start(self.scheduler)
         self.cluster.run()  # to quiescence: all arrivals offered + settled
         elapsed = env.now - started
         if not self.board.conservation_ok():
@@ -185,7 +210,7 @@ class ServeSystem:
             "load": self.config.load,
             "duration": self.config.duration,
             "elapsed": elapsed,
-            "generated": self.workload.generated,
+            "generated": sum(w.generated for w in self.workloads),
             "admitted": self.board.total_admitted,
             "settled": self.board.total_settled,
             "paths": {

@@ -214,6 +214,12 @@ class SLOBoard:
         self._count(outcome)
         if self.monitors is not None and self.monitors.tracer:
             self.monitors.tracer.request_end(req.req_id, outcome)
+        # Closed-loop clients park on a per-request event until their
+        # request reaches a terminal outcome; requests without the key
+        # (all open-loop traffic) pay nothing here.
+        done = req.extra.get("settled")
+        if done is not None and not done.triggered:
+            done.succeed(outcome)
 
     # -- invariants ------------------------------------------------------------
     @property

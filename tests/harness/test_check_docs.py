@@ -124,6 +124,55 @@ class TestFlags:
         assert {"--scale-kb", "--bench-dir", "--chaos-spec", "--batch-max"} <= known
 
 
+class TestScenarioSchema:
+    VOCAB = {"name", "duration", "conservation", "black-friday"}
+
+    def test_clean_doc_passes(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "| `name` | required |\n| `duration` | required |\n\n"
+            "checks: `conservation`; library: `black-friday`\n"
+        )
+        assert check_docs.check_scenario_fields(doc, self.VOCAB) == []
+
+    def test_undocumented_token_reported(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "| `name` | required |\n| `duration` | required |\n\n"
+            "library: `black-friday`\n"
+        )
+        problems = check_docs.check_scenario_fields(doc, self.VOCAB)
+        assert len(problems) == 1 and "'conservation'" in problems[0]
+
+    def test_phantom_table_row_reported(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "| `name` | x |\n| `duration` | x |\n| `bogus_field` | x |\n\n"
+            "`conservation` `black-friday`\n"
+        )
+        problems = check_docs.check_scenario_fields(doc, self.VOCAB)
+        assert len(problems) == 1 and "'bogus_field'" in problems[0]
+
+    def test_fenced_examples_do_not_count_as_documentation(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```json\n{\"name\": 1, \"duration\": 2}\n"
+            "conservation black-friday\n```\n"
+        )
+        problems = check_docs.check_scenario_fields(doc, self.VOCAB)
+        assert len(problems) == len(self.VOCAB)
+
+    def test_dotted_spans_document_their_parts(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("`workload.tenants[].name` and `duration`:"
+                       " `conservation`, `black-friday`\n")
+        assert check_docs.check_scenario_fields(doc, self.VOCAB) == []
+
+    def test_real_vocabulary_covers_schema_checks_and_library(self):
+        vocab = check_docs.scenario_vocabulary()
+        assert {"topology", "think_time", "crc_identity", "rolling-upgrade"} <= vocab
+
+
 class TestEndToEnd:
     def test_repo_docs_are_clean(self):
         """The committed documents must pass their own checker."""

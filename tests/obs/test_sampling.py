@@ -1,0 +1,92 @@
+"""Span sampling: trace every Nth request, perturb nothing.
+
+Sampling drops *spans*, never simulation events: a sampled run's
+summary is bit-identical to the untraced run, sampled requests keep
+their full span trees (coverage/attribution still hold for them), and
+unsampled requests produce no spans at all — the NULL_SPAN parent
+cascades the drop through the queue/attempt/executor instrumentation.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+from repro.obs.span import NullSpan
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def request(req_id):
+    return SimpleNamespace(
+        req_id=req_id, arrival=0.0, deadline=1.0, tenant="t",
+        operator="op", file="f",
+    )
+
+
+class TestSamplingPolicy:
+    def test_default_samples_everything(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.sample_every == 1
+        assert all(tracer.sampled(r) for r in range(1, 20))
+
+    def test_sample_rate_maps_to_every_nth_request(self):
+        tracer = Tracer(clock=FakeClock(), sample=0.25)
+        assert tracer.sample_every == 4
+        assert [r for r in range(1, 13) if tracer.sampled(r)] == [4, 8, 12]
+
+    def test_sampling_is_deterministic_by_request_id(self):
+        a = Tracer(clock=FakeClock(), sample=0.5)
+        b = Tracer(clock=FakeClock(), sample=0.5)
+        assert [a.sampled(r) for r in range(50)] == [
+            b.sampled(r) for r in range(50)
+        ]
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_sample_must_be_a_probability(self, bad):
+        with pytest.raises(Exception):
+            Tracer(clock=FakeClock(), sample=bad)
+
+
+class TestSampledSpans:
+    def test_unsampled_request_gets_the_null_span(self):
+        tracer = Tracer(clock=FakeClock(), sample=0.5)
+        root = tracer.request_begin(request(3))
+        assert isinstance(root, NullSpan)
+        assert not root
+        assert 3 not in tracer.requests
+
+    def test_sampled_request_gets_a_real_root(self):
+        tracer = Tracer(clock=FakeClock(), sample=0.5)
+        root = tracer.request_begin(request(4))
+        assert root
+        assert tracer.request_span(4) is root
+
+    def test_null_parent_cascades_the_drop(self):
+        tracer = Tracer(clock=FakeClock(), sample=0.5)
+        child = tracer.begin("queue", cat="queue", parent=NULL_SPAN)
+        assert isinstance(child, NullSpan)
+        assert tracer.spans == []
+
+    def test_real_parent_still_yields_children(self):
+        tracer = Tracer(clock=FakeClock(), sample=0.5)
+        root = tracer.request_begin(request(2))
+        child = tracer.begin("queue", cat="queue", parent=root)
+        assert child
+        assert child.parent == root.sid
+
+    def test_only_sampled_requests_leave_spans(self):
+        tracer = Tracer(clock=FakeClock(), sample=1 / 3)
+        for r in range(1, 10):
+            root = tracer.request_begin(request(r))
+            tracer.begin("stage", cat="queue", parent=root).finish()
+            root.finish()
+        assert sorted(tracer.requests) == [3, 6, 9]
+        roots = [s for s in tracer.spans if s.cat == "request"]
+        assert len(roots) == 3
