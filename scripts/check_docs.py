@@ -64,6 +64,16 @@ SCENARIOS_DOC = "docs/SCENARIOS.md"
 FOREIGN_FLAGS = {
     "--no-build-isolation",  # pip
     "--benchmark-only",  # pytest-benchmark
+    # scripts/profile_sim.py
+    "--engine",
+    "--sort",
+    "--top",
+    # scripts/check_regression.py
+    "--baseline",
+    "--candidate",
+    "--files",
+    "--wall-tolerance",
+    "--no-wall",
 }
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Compare freshly generated BENCH_*.json payloads against baselines.
+
+The acceptance gate for simulator changes: regenerate the benches into a
+scratch directory, then run this script against the committed baselines
+under ``benchmarks/``.  It enforces two different contracts:
+
+* **Determinism** — everything except wall-clock must be *identical*:
+  rows (simulated makespans, latency tails, byte counts, result-digest
+  CRCs), shape-check claims and verdicts, event counts.  Any difference
+  is a hard failure; an optimisation that changes simulated results is
+  not an optimisation, it is a different simulator.
+
+* **Performance** — the wall-clock fields (``wall_seconds`` /
+  ``wall_seconds_total`` / ``*_per_wall_second``) are host-dependent, so
+  they are stripped from the exact comparison and instead gated by a
+  relative tolerance on each file's ``wall_seconds_total`` (default
+  +20%).  Comparing walls across *different* hosts is only a smoke
+  guard — pass a wider ``--wall-tolerance`` there, and treat the tight
+  default as the bar for same-host before/after runs.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.harness all --bench-dir /tmp/bench
+    python scripts/check_regression.py --candidate /tmp/bench
+    python scripts/check_regression.py --candidate /tmp/bench --no-wall
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Host-dependent fields, stripped everywhere before the exact diff.
+VOLATILE_KEYS = frozenset(
+    {
+        "wall_seconds",
+        "wall_seconds_total",
+        "events_per_wall_second",
+        "requests_per_wall_second",
+    }
+)
+
+#: Default relative wall-clock regression tolerance (+20%).
+WALL_TOLERANCE = 0.20
+
+
+def strip_volatile(doc):
+    """Recursively drop the host-dependent keys from a payload."""
+    if isinstance(doc, dict):
+        return {
+            k: strip_volatile(v) for k, v in doc.items() if k not in VOLATILE_KEYS
+        }
+    if isinstance(doc, list):
+        return [strip_volatile(v) for v in doc]
+    return doc
+
+
+def diff_paths(a, b, path="$", out=None, limit=20):
+    """Human-readable JSON-paths where two stripped payloads differ."""
+    if out is None:
+        out = []
+    if len(out) >= limit:
+        return out
+    if type(a) is not type(b):
+        out.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+    elif isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                out.append(f"{path}.{k}: only in candidate")
+            elif k not in b:
+                out.append(f"{path}.{k}: only in baseline")
+            else:
+                diff_paths(a[k], b[k], f"{path}.{k}", out, limit)
+            if len(out) >= limit:
+                break
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            out.append(f"{path}: length {len(a)} != {len(b)}")
+        else:
+            for i, (x, y) in enumerate(zip(a, b)):
+                diff_paths(x, y, f"{path}[{i}]", out, limit)
+                if len(out) >= limit:
+                    break
+    elif a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+    return out
+
+
+def check_file(baseline: Path, candidate: Path, wall_tolerance, check_wall: bool):
+    """Returns a list of failure strings (empty = pass) for one file."""
+    base = json.loads(baseline.read_text())
+    cand = json.loads(candidate.read_text())
+    failures = []
+
+    if base.get("scale_kb") != cand.get("scale_kb"):
+        return [
+            f"scale_kb mismatch (baseline {base.get('scale_kb')},"
+            f" candidate {cand.get('scale_kb')}) — payloads are not comparable;"
+            " regenerate at the baseline's scale"
+        ]
+
+    drift = diff_paths(strip_volatile(cand), strip_volatile(base))
+    if drift:
+        failures.append("deterministic payload drift:")
+        failures.extend(f"  {d}" for d in drift)
+
+    if check_wall:
+        base_wall = float(base.get("wall_seconds_total", 0.0))
+        cand_wall = float(cand.get("wall_seconds_total", 0.0))
+        if base_wall > 0 and cand_wall > base_wall * (1.0 + wall_tolerance):
+            failures.append(
+                f"wall-clock regression: {cand_wall:.3f}s vs baseline"
+                f" {base_wall:.3f}s (>{wall_tolerance:.0%} over)"
+            )
+        else:
+            print(
+                f"  wall {cand_wall:.3f}s vs baseline {base_wall:.3f}s"
+                f" (tolerance +{wall_tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="benchmarks", metavar="DIR",
+                        help="directory of committed baselines (default benchmarks/)")
+    parser.add_argument("--candidate", required=True, metavar="DIR",
+                        help="directory of freshly generated BENCH files")
+    parser.add_argument("--files", nargs="*", default=None, metavar="NAME",
+                        help="specific BENCH_*.json names (default: every"
+                             " baseline file present in the candidate dir)")
+    parser.add_argument("--wall-tolerance", type=float, default=WALL_TOLERANCE,
+                        help="relative wall_seconds_total regression allowed"
+                             " (default 0.20 = +20%%)")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="skip the wall-clock gate (determinism only)")
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline)
+    candidate_dir = Path(args.candidate)
+    if args.files:
+        names = args.files
+    else:
+        names = sorted(
+            p.name
+            for p in baseline_dir.glob("BENCH_*.json")
+            if (candidate_dir / p.name).exists()
+        )
+    if not names:
+        print(
+            f"no BENCH_*.json files to compare between {baseline_dir}/"
+            f" and {candidate_dir}/",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = 0
+    for name in names:
+        base_path = baseline_dir / name
+        cand_path = candidate_dir / name
+        missing = [str(p) for p in (base_path, cand_path) if not p.exists()]
+        if missing:
+            print(f"FAIL {name}: missing {', '.join(missing)}")
+            failed += 1
+            continue
+        print(f"checking {name} ...")
+        failures = check_file(
+            base_path, cand_path, args.wall_tolerance, not args.no_wall
+        )
+        if failures:
+            failed += 1
+            print(f"FAIL {name}:")
+            for line in failures:
+                print(f"  {line}")
+        else:
+            print(f"PASS {name}")
+    if failed:
+        print(f"{failed}/{len(names)} BENCH file(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(names)} BENCH file(s) match their baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,7 +102,7 @@ class ASServer:
             kind = "link-down" if isinstance(exc, LinkDownError) else "node-down"
             self.monitors.counter("faults.error_replies").add()
             try:
-                yield self.transport.reply(
+                yield from self.transport.reply_gen(
                     msg, FaultNotice(kind=kind, error=str(exc)), EXEC_REPLY_BYTES
                 )
             except (NodeDownError, LinkDownError):
@@ -116,20 +116,17 @@ class ASServer:
             if batched > 1:
                 # One exec pass is about to serve `batched` requests.
                 self.monitors.counter("as.exec.amortised_requests").add(batched - 1)
-            stats = yield self.execute(
+            stats = yield from self._execute(
                 req["kernel"],
                 req["file"],
                 req["output"],
                 req.get("replicate_output", True),
             )
-            yield self.transport.reply(msg, stats, EXEC_REPLY_BYTES)
+            yield from self.transport.reply_gen(msg, stats, EXEC_REPLY_BYTES)
         elif op == "reduce":
             kernel = self.reductions.get(req["kernel"])
-            payload = yield self.env.process(
-                self._reduce(kernel, req["file"]),
-                name=f"as-reduce:{self.name}:{kernel.name}",
-            )
-            yield self.transport.reply(
+            payload = yield from self._reduce(kernel, req["file"])
+            yield from self.transport.reply_gen(
                 msg, payload, EXEC_REPLY_BYTES + kernel.result_bytes
             )
         else:
@@ -231,13 +228,11 @@ class ASServer:
         with slots.request() as slot:
             yield slot
             win_lo, win_hi = window_bounds(first, count, rb, ra, meta.n_elements)
-            raw = yield self.env.process(
-                self._gather_window(
-                    meta,
-                    win_lo * meta.element_size,
-                    (win_hi - win_lo) * meta.element_size,
-                    stats,
-                )
+            raw = yield from self._gather_window(
+                meta,
+                win_lo * meta.element_size,
+                (win_hi - win_lo) * meta.element_size,
+                stats,
             )
             window = Window(
                 data=np.ascontiguousarray(raw).view(meta.dtype).astype(
@@ -251,8 +246,8 @@ class ASServer:
             )
             stats.compute_seconds += yield self.node.cpu.run_kernel(kernel_name, count)
             result = kernel.apply_window(window).astype(out_meta.dtype, copy=False)
-            yield self.env.process(
-                self._write_output(out_meta, first, result, replicate_output, stats)
+            yield from self._write_output(
+                out_meta, first, result, replicate_output, stats
             )
             stats.runs += 1
             stats.elements += count
@@ -297,7 +292,7 @@ class ASServer:
         return out
 
     def _local_job(self, file: str, pieces: List[ReadPiece], spans, out: np.ndarray):
-        data = yield self.ds.read_pieces(file, pieces)
+        data = yield from self.ds.read_pieces_gen(file, pieces)
         cursor = 0
         for (pos, ln) in spans:
             out[pos : pos + ln] = data[cursor : cursor + ln]
@@ -318,7 +313,7 @@ class ASServer:
                 for s in sorted(strips)
                 for (_pos, in_strip, ln) in strips[s]
             ]
-        reply = yield self.transport.call(
+        reply = yield from self.transport.call_gen(
             self.name,
             owner,
             {"op": "read", "file": meta.name, "pieces": pieces},

@@ -23,6 +23,7 @@ from ..errors import (
     RPCTimeoutError,
 )
 from ..kernels.base import KernelRegistry, default_registry
+from ..kernels.reductions import default_reductions
 from ..net.message import FaultNotice
 from ..obs.span import NULL_SPAN, rpc_reply_bytes, rpc_status
 from ..pfs.filesystem import ParallelFileSystem
@@ -113,8 +114,8 @@ class ActiveStorageClient:
             )
             meta = self.pfs.metadata.lookup(request.file)
 
-        result = yield self.env.process(
-            self._execute(request, decision, started, redistribution_bytes)
+        result = yield from self._execute(
+            request, decision, started, redistribution_bytes
         )
         return result
 
@@ -241,8 +242,6 @@ class ActiveStorageClient:
         )
 
     def _submit_reduction(self, operator: str, file: str):
-        from ..kernels.reductions import default_reductions
-
         kernel = default_reductions.get(operator)
         meta = self.pfs.metadata.lookup(file)
         started = self.env.now

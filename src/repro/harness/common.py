@@ -15,8 +15,11 @@ order included — exactly.
 from __future__ import annotations
 
 import argparse
+import gc
 import math
-from typing import Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +27,7 @@ from ..config import PlatformSpec
 from ..core import KernelFeatures, LayoutOptimizer
 from ..errors import HarnessError
 from ..pfs.layout import RoundRobinLayout
+from ..sim.core import events_dispatched_total
 from ..units import KiB, MiB, us
 from ..workloads import fractal_dem
 from .platform import ExperimentPlatform, build_platform, ingest_for_scheme
@@ -59,6 +63,65 @@ SERVE_SPEC = PlatformSpec(
 
 #: Ingest placement policies :func:`ingest_files` understands.
 INGEST_POLICIES = ("scheme", "replicated", "partition")
+
+
+class BenchTiming:
+    """Wall-clock and engine-event accounting for one timed bench region.
+
+    ``wall_seconds`` is host time and varies run to run;
+    ``events_dispatched`` is the number of simulation events the engine
+    processed inside the region and is exactly reproducible — together
+    they give ``events_per_wall_second``, the engine-throughput figure
+    every ``BENCH_*.json`` payload records (see docs/BENCHMARKS.md).
+    """
+
+    __slots__ = ("wall_seconds", "events_dispatched")
+
+    def __init__(self, wall_seconds: float = 0.0, events_dispatched: int = 0):
+        self.wall_seconds = wall_seconds
+        self.events_dispatched = events_dispatched
+
+    @property
+    def events_per_wall_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_dispatched / self.wall_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BenchTiming(wall_seconds={self.wall_seconds:.3f},"
+            f" events_dispatched={self.events_dispatched})"
+        )
+
+
+@contextmanager
+def bench_timer(quiesce_gc: bool = True) -> Iterator[BenchTiming]:
+    """Time a bench region; yields a :class:`BenchTiming` filled on exit.
+
+    With ``quiesce_gc`` (the default) the cyclic garbage collector is
+    collected once up front and then disabled for the region: the
+    simulator churns through millions of short-lived events whose
+    refcounts already reclaim them, and letting the cycle detector walk
+    those arenas mid-run costs ~10% wall for nothing.  This is purely a
+    wall-clock lever — object lifetimes and float arithmetic are
+    untouched, so simulated results are bit-identical either way.  The
+    collector is re-enabled (and prior state restored) on exit, even on
+    error.
+    """
+    timing = BenchTiming()
+    restore_gc = quiesce_gc and gc.isenabled()
+    if restore_gc:
+        gc.collect()
+        gc.disable()
+    events_before = events_dispatched_total()
+    begin = time.perf_counter()
+    try:
+        yield timing
+    finally:
+        timing.wall_seconds = time.perf_counter() - begin
+        timing.events_dispatched = events_dispatched_total() - events_before
+        if restore_gc:
+            gc.enable()
 
 
 def scaled_duration(scale: Optional[float], base: float, floor: float) -> float:

@@ -416,6 +416,7 @@ def ext_oversub(
 
 from .autoscale_bench import autoscale_bench  # noqa: E402  (needs ExperimentReport above)
 from .chaos_bench import chaos_bench  # noqa: E402  (needs ExperimentReport above)
+from .engine_bench import engine_bench  # noqa: E402  (needs ExperimentReport above)
 from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
 
 
@@ -437,6 +438,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "fig14": fig14,
     "ext-oversub": ext_oversub,
     "serve-bench": serve_bench,
+    "engine-bench": engine_bench,
     "chaos-bench": chaos_bench,
     "autoscale-bench": autoscale_bench,
     "scenario-bench": _scenario_bench,

@@ -15,11 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from ..units import KiB
-from .common import add_bench_arguments
+from .common import add_bench_arguments, bench_timer
 from .experiments import EXPERIMENTS, run_experiment
 
 
@@ -87,9 +86,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         ):
             kwargs["trace_dir"] = args.trace_dir
             kwargs["trace_sample"] = args.trace_sample
-        begin = time.perf_counter()
-        report = run_experiment(name, **kwargs)
-        timed.append((report, time.perf_counter() - begin))
+        with bench_timer() as timing:
+            report = run_experiment(name, **kwargs)
+        timed.append((report, timing))
         print(report.to_text())
         print()
         if args.output_dir:

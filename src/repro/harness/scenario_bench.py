@@ -174,17 +174,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Standalone entry point (``python -m repro.harness.scenario_bench``)."""
     args = build_parser().parse_args(argv)
 
-    import time
+    from .common import bench_timer
 
-    begin = time.perf_counter()
-    report = scenario_bench(
-        scale=args.scale_kb * 1024,
-        verify=not args.no_verify,
-        scenarios=None if args.library else args.scenario,
-        trace_dir=args.trace_dir,
-        trace_sample=args.trace_sample,
-    )
-    wall = time.perf_counter() - begin
+    with bench_timer() as timing:
+        report = scenario_bench(
+            scale=args.scale_kb * 1024,
+            verify=not args.no_verify,
+            scenarios=None if args.library else args.scenario,
+            trace_dir=args.trace_dir,
+            trace_sample=args.trace_sample,
+        )
     print(report.to_text())
     if args.output_dir:
         from .common import save_reports
@@ -193,7 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.bench_dir:
         from .trajectory import write_trajectory
 
-        for path in write_trajectory(args.bench_dir, [(report, wall)], args.scale_kb):
+        for path in write_trajectory(args.bench_dir, [(report, timing)], args.scale_kb):
             print(f"wrote {path}", file=sys.stderr)
     return 0 if report.all_checks_pass else 1
 

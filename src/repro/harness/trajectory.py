@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Tuple
 
+from .common import BenchTiming
 from .experiments import ExperimentReport
 
 SERVE_BENCH_FILE = "BENCH_serve.json"
@@ -29,6 +30,7 @@ PAPER_BENCH_FILE = "BENCH_paper.json"
 FAULTS_BENCH_FILE = "BENCH_faults.json"
 AUTOSCALE_BENCH_FILE = "BENCH_autoscale.json"
 SCENARIOS_BENCH_FILE = "BENCH_scenarios.json"
+ENGINE_BENCH_FILE = "BENCH_engine.json"
 
 #: Experiments recorded into BENCH_paper.json.
 PAPER_EXPERIMENTS = (
@@ -44,8 +46,17 @@ PAPER_EXPERIMENTS = (
 #: Bump when the payload shape changes incompatibly.
 SCHEMA_VERSION = 1
 
-#: A report paired with the wall-clock seconds it took to produce.
-TimedReport = Tuple[ExperimentReport, float]
+#: A report paired with the timing of producing it: a
+#: :class:`~repro.harness.common.BenchTiming` from
+#: :func:`~repro.harness.common.bench_timer`, or a bare wall-seconds
+#: float (older callers; recorded with ``events_dispatched`` 0/omitted).
+TimedReport = Tuple[ExperimentReport, object]
+
+
+def _as_timing(timed: object) -> BenchTiming:
+    if isinstance(timed, BenchTiming):
+        return timed
+    return BenchTiming(wall_seconds=float(timed))  # type: ignore[arg-type]
 
 
 def trajectory_payload(
@@ -56,18 +67,30 @@ def trajectory_payload(
     Rows are embedded verbatim: paper rows carry the simulated makespan
     (``time_s``) and bytes per link class (``client_MB``/``server_MB``);
     serve rows carry the latency tail, header/halo wire bytes and the
-    batch hit rate.
+    batch hit rate.  Every experiment entry and the top level also
+    carry the uniform perf fields — ``wall_seconds`` (volatile, host
+    dependent), ``events_dispatched`` (exactly reproducible) and
+    ``events_per_wall_second`` — so engine-throughput regressions show
+    up in any bench, not just the dedicated engine microbenchmark.
     """
-    entries = list(entries)
+    timed = [(report, _as_timing(t)) for report, t in entries]
+    wall_total = sum(t.wall_seconds for _, t in timed)
+    events_total = sum(t.events_dispatched for _, t in timed)
     return {
         "schema": SCHEMA_VERSION,
         "bench": bench,
         "scale_kb": scale_kb,
-        "wall_seconds_total": round(sum(w for _, w in entries), 3),
+        "wall_seconds_total": round(wall_total, 3),
+        "events_dispatched_total": events_total,
+        "events_per_wall_second": (
+            round(events_total / wall_total) if wall_total > 0 else 0
+        ),
         "experiments": {
             report.experiment: {
                 "title": report.title,
-                "wall_seconds": round(wall, 3),
+                "wall_seconds": round(timing.wall_seconds, 3),
+                "events_dispatched": timing.events_dispatched,
+                "events_per_wall_second": round(timing.events_per_wall_second),
                 "all_checks_pass": report.all_checks_pass,
                 "checks": [
                     {"claim": claim, "passed": ok} for claim, ok in report.checks
@@ -75,7 +98,7 @@ def trajectory_payload(
                 "notes": report.notes,
                 "rows": report.rows,
             }
-            for report, wall in entries
+            for report, timing in timed
         },
     }
 
@@ -113,6 +136,11 @@ def write_trajectory(
             SCENARIOS_BENCH_FILE,
             "scenarios",
             [(r, w) for r, w in entries if r.experiment == "scenario-bench"],
+        ),
+        (
+            ENGINE_BENCH_FILE,
+            "engine",
+            [(r, w) for r, w in entries if r.experiment == "engine-bench"],
         ),
     )
     written: List[Path] = []

@@ -14,7 +14,9 @@ from __future__ import annotations
 from ..config import PlatformSpec
 from ..errors import SimulationError
 from ..sim import Environment, Resource
+from ..sim.events import Event, Timeout
 from ..sim.monitor import MonitorHub
+from ..sim.resources import Request
 
 
 class CPU:
@@ -34,31 +36,51 @@ class CPU:
         self.spec = spec
         self.monitors = monitors
         self.engine = Resource(env, capacity=1)
+        self._busy_counter = None
 
     def kernel_seconds(self, kernel: str, n_elements: int) -> float:
         """Duration of a kernel invocation over ``n_elements`` elements."""
         return n_elements * self.spec.kernel_sec_per_element(kernel) / self.spec.cores
 
     def run_kernel(self, kernel: str, n_elements: int):
-        """Process: occupy the engine for the kernel's duration."""
-        return self.env.process(
-            self._busy(self.kernel_seconds(kernel, n_elements), f"kernel:{kernel}"),
-            name=f"cpu:{self.owner}:{kernel}",
-        )
+        """Event: occupy the engine for the kernel's duration; the
+        event's value is the busy time in seconds."""
+        return self._busy(self.kernel_seconds(kernel, n_elements), f"kernel:{kernel}")
 
     def service(self, seconds: float, label: str = "service"):
-        """Process: occupy the engine for fixed control-plane work."""
-        return self.env.process(
-            self._busy(seconds, label), name=f"cpu:{self.owner}:{label}"
-        )
+        """Event: occupy the engine for fixed control-plane work."""
+        return self._busy(seconds, label)
 
-    def _busy(self, seconds: float, label: str):
+    def _busy(self, seconds: float, label: str) -> Event:
+        # Hand-built grant -> timeout -> release chain; see Disk._io for
+        # why this matches the generator form's event stream bit for bit
+        # (here booking precedes the release push, as the old `with`
+        # block booked before exiting).
         if seconds < 0:
             raise SimulationError(f"negative CPU time {seconds!r}")
-        with self.engine.request() as req:
-            yield req
-            start = self.env.now
-            yield self.env.timeout(seconds)
-            self.monitors.counter(f"cpu.busy.{self.owner}").add(self.env.now - start)
-            self.monitors.log("cpu", f"{self.owner}:{label}", seconds=seconds)
-        return seconds
+        env = self.env
+        done = Event(env)
+        engine = self.engine
+
+        def on_grant(_e: Event) -> None:
+            start = env.now
+
+            def on_fire(_e: Event) -> None:
+                c = self._busy_counter
+                if c is None:
+                    c = self._busy_counter = self.monitors.counter(
+                        f"cpu.busy.{self.owner}"
+                    )
+                c.add(env.now - start)
+                monitors = self.monitors
+                if monitors.trace_enabled:
+                    monitors.log("cpu", f"{self.owner}:{label}", seconds=seconds)
+                engine.release(req)
+                done.succeed(seconds)
+
+            timer = Timeout(env, seconds)
+            timer.callbacks.append(on_fire)
+
+        req = Request(engine)
+        req.callbacks.append(on_grant)
+        return done

@@ -12,7 +12,9 @@ from __future__ import annotations
 from ..config import PlatformSpec
 from ..errors import SimulationError
 from ..sim import Environment, Resource
+from ..sim.events import Event, Timeout
 from ..sim.monitor import MonitorHub
+from ..sim.resources import Request
 
 
 class Disk:
@@ -36,6 +38,9 @@ class Disk:
         #: Throughput multiplier in (0, 1]; < 1 models a degraded disk
         #: (failing sectors, RAID rebuild).  Set via :meth:`degrade`.
         self._health = 1.0
+        # Lazily-bound (per-disk, per-op-total) counter pairs; created
+        # at first use so hub creation order matches uncached lookups.
+        self._op_counters: dict = {}
 
     @property
     def health(self) -> float:
@@ -57,21 +62,52 @@ class Disk:
         return self.seek + size / (self.bandwidth * self._health)
 
     def read(self, size: float):
-        """Process: read ``size`` bytes (seek + stream)."""
-        return self.env.process(self._io(size, "read"), name=f"disk:{self.owner}:read")
+        """Event: read ``size`` bytes (seek + stream); value is ``size``."""
+        return self._io(size, "read")
 
     def write(self, size: float):
-        """Process: write ``size`` bytes (seek + stream)."""
-        return self.env.process(self._io(size, "write"), name=f"disk:{self.owner}:write")
+        """Event: write ``size`` bytes (seek + stream); value is ``size``."""
+        return self._io(size, "write")
 
-    def _io(self, size: float, op: str):
+    def _io(self, size: float, op: str) -> Event:
+        # Hand-built event chain (grant -> service timeout -> release)
+        # instead of a generator process: one I/O costs three scheduled
+        # events, not four plus generator machinery.  Push order within
+        # the completion instant — next-waiter grant, booking, then the
+        # done event — matches the old `with request(): yield timeout`
+        # form exactly, so event streams are unchanged.
         if size < 0:
             raise SimulationError(f"negative I/O size {size!r}")
-        with self.arm.request() as req:
-            yield req
+        env = self.env
+        done = Event(env)
+        arm = self.arm
+
+        def on_grant(_e: Event) -> None:
+            # Duration is priced at grant time: health may have changed
+            # (fault injection) while the request sat in the arm queue.
             seconds = self.io_seconds(size)
-            yield self.env.timeout(seconds)
-        self.monitors.counter(f"disk.{op}.{self.owner}").add(size)
-        self.monitors.counter(f"disk.{op}_total").add(size)
-        self.monitors.log("disk", f"{self.owner}:{op}", seconds=seconds, size=size)
-        return size
+
+            def on_fire(_e: Event) -> None:
+                arm.release(req)
+                counters = self._op_counters.get(op)
+                if counters is None:
+                    monitors = self.monitors
+                    counters = self._op_counters[op] = (
+                        monitors.counter(f"disk.{op}.{self.owner}"),
+                        monitors.counter(f"disk.{op}_total"),
+                    )
+                counters[0].add(size)
+                counters[1].add(size)
+                monitors = self.monitors
+                if monitors.trace_enabled:
+                    monitors.log(
+                        "disk", f"{self.owner}:{op}", seconds=seconds, size=size
+                    )
+                done.succeed(size)
+
+            timer = Timeout(env, seconds)
+            timer.callbacks.append(on_fire)
+
+        req = Request(arm)
+        req.callbacks.append(on_grant)
+        return done

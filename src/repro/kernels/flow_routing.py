@@ -37,7 +37,7 @@ class FlowRoutingKernel(RowBlockKernel):
     def apply_rows(self, block: np.ndarray) -> np.ndarray:
         padded = pad_rows(block, fill=np.inf)
         stack = neighbor_stack(padded)
-        idx = np.argmin(stack, axis=0)
+        idx = stack.argmin(axis=0)  # ndarray method: skips the np.argmin wrapper
         lowest = np.take_along_axis(stack, idx[None, ...], axis=0)[0]
         return np.where(lowest < block, (idx + 1).astype(np.float64), 0.0)
 

@@ -81,9 +81,24 @@ def pad_rows(block: np.ndarray, fill: str | float = "edge") -> np.ndarray:
     """
     if block.ndim != 2:
         raise KernelError(f"pad_rows expects 2-D, got shape {block.shape}")
+    # Hand-rolled ring (np.pad equivalent, minus its per-call overhead —
+    # this runs once per window per kernel application).  Padding only
+    # copies values, so the result is bit-identical to np.pad.
+    rows, cols = block.shape
+    out = np.empty((rows + 2, cols + 2), dtype=block.dtype)
+    out[1:-1, 1:-1] = block
     if fill == "edge":
-        return np.pad(block, 1, mode="edge")
-    return np.pad(block, 1, mode="constant", constant_values=float(fill))
+        out[0, 1:-1] = block[0]
+        out[-1, 1:-1] = block[-1]
+        out[:, 0] = out[:, 1]
+        out[:, -1] = out[:, -2]
+    else:
+        v = float(fill)
+        out[0, :] = v
+        out[-1, :] = v
+        out[1:-1, 0] = v
+        out[1:-1, -1] = v
+    return out
 
 
 def neighbor_stack(padded: np.ndarray) -> np.ndarray:

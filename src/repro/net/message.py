@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 #: Well-known message tags (mirroring the MPI habit of tagging traffic
@@ -33,7 +33,6 @@ class FaultNotice:
     error: str  #: human-readable description
 
 
-@dataclass
 class Message:
     """One simulated network message.
 
@@ -42,18 +41,34 @@ class Message:
     for functional correctness (e.g. a NumPy halo block).  The two are
     deliberately decoupled: the simulation charges the bytes the real
     system would have moved, not ``sys.getsizeof`` of the payload.
+
+    Plain ``__slots__`` class (one is built per send on the hot path);
+    ``msg_id`` is drawn from a process-wide counter and ``reply_to``
+    correlates an RPC reply with its request.
     """
 
-    src: str
-    dst: str
-    size: float
-    tag: str = TAG_DATA
-    payload: Any = None
-    #: Correlates an RPC reply with its request.
-    reply_to: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    #: Simulated send timestamp, stamped by the transport.
-    sent_at: float = 0.0
+    __slots__ = ("src", "dst", "size", "tag", "payload", "reply_to", "msg_id", "sent_at")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        tag: str = TAG_DATA,
+        payload: Any = None,
+        reply_to: Optional[int] = None,
+        msg_id: Optional[int] = None,
+        sent_at: float = 0.0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.tag = tag
+        self.payload = payload
+        self.reply_to = reply_to
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        #: Simulated send timestamp, stamped by the transport.
+        self.sent_at = sent_at
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

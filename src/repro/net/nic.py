@@ -46,6 +46,12 @@ class NIC:
         # fabric when the NIC is attached.
         self.tx_link = f"{owner}.tx"
         self.rx_link = f"{owner}.rx"
+        # Lazily-bound counters; created at first account so the hub's
+        # counter-creation (and float-summation) order is exactly the
+        # first-touch order an uncached lookup would produce.
+        self._tx_counter = None
+        self._rx_counter = None
+        self._total_counter = None
 
     # -- failure injection ---------------------------------------------------
     @property
@@ -60,11 +66,18 @@ class NIC:
 
     # -- accounting ------------------------------------------------------------
     def account_tx(self, size: float) -> None:
-        self.monitors.counter(f"net.tx.{self.owner}").add(size)
-        self.monitors.counter("net.bytes_total").add(size)
+        c = self._tx_counter
+        if c is None:
+            c = self._tx_counter = self.monitors.counter(f"net.tx.{self.owner}")
+            self._total_counter = self.monitors.counter("net.bytes_total")
+        c.add(size)
+        self._total_counter.add(size)
 
     def account_rx(self, size: float) -> None:
-        self.monitors.counter(f"net.rx.{self.owner}").add(size)
+        c = self._rx_counter
+        if c is None:
+            c = self._rx_counter = self.monitors.counter(f"net.rx.{self.owner}")
+        c.add(size)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<NIC {self.owner} bw={self.bandwidth:.3g}B/s>"

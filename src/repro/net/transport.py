@@ -15,8 +15,81 @@ from typing import Any, Callable, Optional
 from ..errors import LinkDownError, NodeDownError
 from ..sim import Environment, FilterStore
 from ..sim.monitor import MonitorHub
+from ..sim.resources import StoreGet
 from .fabric import Fabric
 from .message import TAG_DATA, TAG_RPC, TAG_RPC_REPLY, Message
+
+
+class MailboxGet(StoreGet):
+    """A structured mailbox receive.
+
+    Carries the match criteria (``tag``, ``reply_to``, residual
+    ``match`` callable) as plain attributes so :meth:`Mailbox._match`
+    can test candidate messages inline instead of paying a Python call
+    per scanned (waiter, item) pair.
+    """
+
+    __slots__ = ("tag", "reply_to", "match")
+
+    def __init__(self, store: "Mailbox", tag, reply_to, match):
+        self.tag = tag
+        self.reply_to = reply_to
+        self.match = match
+        super().__init__(store)
+
+
+class Mailbox(FilterStore):
+    """A node's message queue with attribute-indexed matching.
+
+    Semantics are exactly :class:`FilterStore` with the predicate
+    ``(tag is None or m.tag == tag) and (reply_to is None or
+    m.reply_to == reply_to) and (match is None or match(m))`` — waiters
+    are scanned in FIFO order and each takes the first matching item —
+    but the common tag-only and RPC-reply waits never call a predicate.
+    """
+
+    def get(self, tag=None, reply_to=None, match=None) -> MailboxGet:  # type: ignore[override]
+        return MailboxGet(self, tag, reply_to, match)
+
+    def _match(self, waiters):
+        items = self.items
+        for wi, get in enumerate(waiters):
+            tag = get.tag
+            rid = get.reply_to
+            fn = get.match
+            if fn is None:
+                if rid is None:
+                    if tag is None:
+                        waiters.pop(wi)
+                        item = items.pop(0)
+                        get.succeed(item)
+                        return get
+                    for ii, item in enumerate(items):
+                        if item.tag == tag:
+                            waiters.pop(wi)
+                            items.pop(ii)
+                            get.succeed(item)
+                            return get
+                else:
+                    # RPC reply wait: reply_to is the discriminating key.
+                    for ii, item in enumerate(items):
+                        if item.reply_to == rid and (tag is None or item.tag == tag):
+                            waiters.pop(wi)
+                            items.pop(ii)
+                            get.succeed(item)
+                            return get
+            else:
+                for ii, item in enumerate(items):
+                    if (
+                        (tag is None or item.tag == tag)
+                        and (rid is None or item.reply_to == rid)
+                        and fn(item)
+                    ):
+                        waiters.pop(wi)
+                        items.pop(ii)
+                        get.succeed(item)
+                        return get
+        return None
 
 
 class Transport:
@@ -33,12 +106,17 @@ class Transport:
         self.fabric = fabric
         self.monitors = monitors
         self.rpc_overhead = float(rpc_overhead)
-        self._mailboxes: dict[str, FilterStore] = {}
+        self._mailboxes: dict[str, Mailbox] = {}
+        # Lazily-bound counter handles (first-touch creation order is
+        # preserved; see NIC.account_tx for the pattern's rationale).
+        self._loopback_counter = None
+        self._flow_counters: dict = {}
+        self._tag_counters: dict = {}
 
-    def mailbox(self, node: str) -> FilterStore:
+    def mailbox(self, node: str) -> Mailbox:
         box = self._mailboxes.get(node)
         if box is None:
-            box = FilterStore(self.env)
+            box = Mailbox(self.env)
             self._mailboxes[node] = box
         return box
 
@@ -58,13 +136,35 @@ class Transport:
         msg = Message(
             src=src, dst=dst, size=float(size), tag=tag, payload=payload, reply_to=reply_to
         )
-        return self.env.process(self._send_proc(msg), name=f"send:{src}->{dst}:{tag}")
+        return self.env.process(self._send_proc(msg))
+
+    def send_gen(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        payload: Any = None,
+        tag: str = TAG_DATA,
+        reply_to: Optional[int] = None,
+    ):
+        """Generator form of :meth:`send` for ``yield from`` composition.
+
+        Runs the transfer inside the *calling* process instead of
+        spawning a child process — the hot-path form when the caller
+        blocks on the send anyway (no fire-and-forget, no racing)."""
+        msg = Message(
+            src=src, dst=dst, size=float(size), tag=tag, payload=payload, reply_to=reply_to
+        )
+        return self._send_proc(msg)
 
     def _send_proc(self, msg: Message):
         msg.sent_at = self.env.now
         if msg.src == msg.dst:
             # Loopback: no NIC traversal, no wire bytes.
-            self.monitors.counter("net.loopback_bytes").add(msg.size)
+            c = self._loopback_counter
+            if c is None:
+                c = self._loopback_counter = self.monitors.counter("net.loopback_bytes")
+            c.add(msg.size)
             yield self.mailbox(msg.dst).put(msg)
             return msg
 
@@ -90,9 +190,20 @@ class Transport:
 
         src_nic.account_tx(msg.size)
         dst_nic.account_rx(msg.size)
-        self.monitors.counter(f"net.flow.{msg.src}->{msg.dst}").add(msg.size)
-        self.monitors.counter(f"net.tag.{msg.tag}").add(msg.size)
-        self.monitors.log("net", f"{msg.src}->{msg.dst}", size=msg.size, tag=msg.tag)
+        monitors = self.monitors
+        flow_key = (msg.src, msg.dst)
+        c = self._flow_counters.get(flow_key)
+        if c is None:
+            c = self._flow_counters[flow_key] = monitors.counter(
+                f"net.flow.{msg.src}->{msg.dst}"
+            )
+        c.add(msg.size)
+        c = self._tag_counters.get(msg.tag)
+        if c is None:
+            c = self._tag_counters[msg.tag] = monitors.counter(f"net.tag.{msg.tag}")
+        c.add(msg.size)
+        if monitors.trace_enabled:
+            monitors.log("net", f"{msg.src}->{msg.dst}", size=msg.size, tag=msg.tag)
         yield self.mailbox(msg.dst).put(msg)
         return msg
 
@@ -102,18 +213,11 @@ class Transport:
         node: str,
         tag: Optional[str] = None,
         match: Optional[Callable[[Message], bool]] = None,
+        reply_to: Optional[int] = None,
     ):
         """An event yielding the next mailbox message that matches
-        ``tag`` (if given) and ``match`` (if given)."""
-
-        def predicate(msg: Message) -> bool:
-            if tag is not None and msg.tag != tag:
-                return False
-            if match is not None and not match(msg):
-                return False
-            return True
-
-        return self.mailbox(node).get(predicate)
+        ``tag``, ``reply_to`` and ``match`` (each optional)."""
+        return self.mailbox(node).get(tag, reply_to, match)
 
     # -- RPC ------------------------------------------------------------------------
     def call(
@@ -126,30 +230,32 @@ class Transport:
     ):
         """Request/response round trip; returns a Process event whose
         value is the reply :class:`Message`."""
-        return self.env.process(
-            self._call_proc(src, dst, payload, request_size, tag),
-            name=f"rpc:{src}->{dst}",
-        )
+        return self.env.process(self._call_proc(src, dst, payload, request_size, tag))
+
+    def call_gen(self, src: str, dst: str, payload: Any, request_size: float, tag: str = TAG_RPC):
+        """Generator form of :meth:`call` for ``yield from`` composition
+        (see :meth:`send_gen`)."""
+        return self._call_proc(src, dst, payload, request_size, tag)
 
     def _call_proc(self, src: str, dst: str, payload: Any, request_size: float, tag: str):
-        sent = yield self.send(src, dst, request_size, payload, tag=tag)
-        reply = yield self.recv(
-            src, tag=TAG_RPC_REPLY, match=lambda m: m.reply_to == sent.msg_id
-        )
+        sent = yield from self.send_gen(src, dst, request_size, payload, tag=tag)
+        reply = yield self.recv(src, tag=TAG_RPC_REPLY, reply_to=sent.msg_id)
         return reply
 
     def reply(self, request: Message, payload: Any, size: float):
         """Send an RPC reply correlated to ``request``; adds the
         configured per-RPC software overhead before the wire transfer."""
-        return self.env.process(
-            self._reply_proc(request, payload, size),
-            name=f"reply:{request.dst}->{request.src}",
-        )
+        return self.env.process(self._reply_proc(request, payload, size))
+
+    def reply_gen(self, request: Message, payload: Any, size: float):
+        """Generator form of :meth:`reply` for ``yield from`` composition
+        (see :meth:`send_gen`)."""
+        return self._reply_proc(request, payload, size)
 
     def _reply_proc(self, request: Message, payload: Any, size: float):
         if self.rpc_overhead:
             yield self.env.timeout(self.rpc_overhead)
-        msg = yield self.send(
+        msg = yield from self.send_gen(
             request.dst,
             request.src,
             size,

@@ -163,6 +163,22 @@ class PFSClient:
         for pos, e in positioned:
             by_server.setdefault(e.server, []).append((pos, e))
 
+        if len(by_server) == 1 and not span:
+            # Single touched server (the common small read): run the RPC
+            # inside this process instead of spawning a child per call —
+            # there is nothing to overlap.
+            ((server, group),) = by_server.items()
+            pieces = [ReadPiece(e.strip, e.in_strip, e.length) for _, e in group]
+            reply = yield from self.transport.call_gen(
+                self.home,
+                server,
+                {"op": "read", "file": name, "pieces": pieces},
+                accounted_wire_size(self.cluster.monitors, len(pieces)),
+                tag=TAG_PFS,
+            )
+            self._scatter_reply(reply.payload, group, out)
+            return out
+
         tracer = self.cluster.monitors.tracer
         calls = {}
         for server, group in by_server.items():
@@ -251,7 +267,7 @@ class PFSClient:
     def _read_elems(self, name: str, first: int, count: int):
         meta = self.metadata.lookup(name)
         offset, length = meta.elem_range_bytes(first, count)
-        raw = yield self.read(name, offset, length)
+        raw = yield from self._read(name, offset, length)
         return raw.view(meta.dtype)
 
     def write(self, name: str, offset: int, data: np.ndarray):
@@ -279,6 +295,7 @@ class PFSClient:
             for server in meta.layout.replicas(e.strip):
                 by_server.setdefault(server, []).append(e)
 
+        single = len(by_server) == 1
         calls = []
         for server, group in by_server.items():
             pieces = [
@@ -290,15 +307,19 @@ class PFSClient:
                 for e in group
             ]
             payload_bytes = sum(p.data.nbytes for p in pieces)
-            calls.append(
-                self.transport.call(
-                    self.home,
-                    server,
-                    {"op": "write", "file": name, "pieces": pieces},
-                    accounted_wire_size(self.cluster.monitors, len(pieces))
-                    + payload_bytes,
-                    tag=TAG_PFS,
+            size = (
+                accounted_wire_size(self.cluster.monitors, len(pieces))
+                + payload_bytes
+            )
+            request = {"op": "write", "file": name, "pieces": pieces}
+            if single:
+                # One holder: nothing to overlap, run the RPC inline.
+                yield from self.transport.call_gen(
+                    self.home, server, request, size, tag=TAG_PFS
                 )
+                return raw.nbytes
+            calls.append(
+                self.transport.call(self.home, server, request, size, tag=TAG_PFS)
             )
         for call in contain_failures(calls):
             yield call
@@ -398,11 +419,21 @@ class PFSClient:
                     race.append(hedge_timer)
                 yield self.env.any_of(race)
                 if guard.processed:
+                    # The race is decided: lazily cancel the losing
+                    # timers so their eventual dispatch is a no-op pop
+                    # (the heap entries still pace the clock, so replay
+                    # is bit-identical — see Event.cancel).
                     status, value = guard.value
                     if status == "ok":
+                        deadline.cancel()
+                        if hedge_timer is not None:
+                            hedge_timer.cancel()
                         rpc.finish(status="ok", bytes=getattr(value, "size", None))
                         self._scatter_reply(value.payload, group, out)
                         return
+                    deadline.cancel()
+                    if hedge_timer is not None:
+                        hedge_timer.cancel()
                     rpc.finish(status="error", error=type(value).__name__)
                     break  # attempt failed fast (node/link down en route)
                 if hedge_guard is not None and hedge_guard.processed:
@@ -411,6 +442,9 @@ class PFSClient:
                         monitors.counter("faults.hedge_wins").add()
                         span.event("hedge.win", server=server)
                         rpc.finish(status="abandoned")
+                        deadline.cancel()
+                        if hedge_timer is not None:
+                            hedge_timer.cancel()
                         return
                     hedge_guard = None  # hedge died; keep the primary attempt
                     continue
@@ -444,6 +478,9 @@ class PFSClient:
                     monitors.counter("faults.rpc_timeouts").add()
                     span.event("rpc.timeout", server=server, attempt=attempt)
                     rpc.finish(status="timeout")
+                    if hedge_timer is not None:
+                        hedge_timer.cancel()
+                        hedge_timer = None
                     break
             if attempt >= policy.max_attempts:
                 break
@@ -476,8 +513,6 @@ class PFSClient:
     def _remap_group(self, layout: Layout, group, excluded):
         """Re-home ``(position, extent)`` pairs onto live replicas not in
         ``excluded``; ``None`` when any strip has nowhere to go."""
-        from dataclasses import replace as _replace
-
         remapped = []
         for pos, e in group:
             candidate = None
@@ -487,7 +522,7 @@ class PFSClient:
                     break
             if candidate is None:
                 return None
-            remapped.append((pos, _replace(e, server=candidate)))
+            remapped.append((pos, e.rehomed(candidate)))
         return remapped
 
     @staticmethod
@@ -505,14 +540,10 @@ class PFSClient:
         tolerance: reads of replicated strips survive the primary's
         failure.  Unreplicated strips have nowhere to go.
         """
-        from dataclasses import replace as _replace
-
-        from ..errors import NodeDownError
-
         for candidate in layout.replicas(extent.strip):
             if candidate != extent.server and self.cluster.node(candidate).is_up:
                 self.cluster.monitors.counter("faults.failover_reads").add()
-                return _replace(extent, server=candidate)
+                return extent.rehomed(candidate)
         raise NodeDownError(
             f"strip {extent.strip} unreachable: holder {extent.server!r} is down"
             " and no live replica exists"

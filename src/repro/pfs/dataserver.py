@@ -10,7 +10,6 @@ components (the active-storage helper reads its strips through
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -31,22 +30,36 @@ EXTENT_DESC_BYTES = 32
 ACK_BYTES = 64
 
 
-@dataclass(frozen=True)
 class ReadPiece:
-    """A read of ``length`` bytes at ``in_strip`` within ``strip``."""
+    """A read of ``length`` bytes at ``in_strip`` within ``strip``.
 
-    strip: int
-    in_strip: int
-    length: int
+    Plain ``__slots__`` record: one is built per extent per read on the
+    data path, so construction cost matters.
+    """
+
+    __slots__ = ("strip", "in_strip", "length")
+
+    def __init__(self, strip: int, in_strip: int, length: int):
+        self.strip = strip
+        self.in_strip = in_strip
+        self.length = length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReadPiece(strip={self.strip}, in_strip={self.in_strip}, length={self.length})"
 
 
-@dataclass
 class WritePiece:
     """A write of ``data`` at ``in_strip`` within ``strip``."""
 
-    strip: int
-    in_strip: int
-    data: np.ndarray
+    __slots__ = ("strip", "in_strip", "data")
+
+    def __init__(self, strip: int, in_strip: int, data: np.ndarray):
+        self.strip = strip
+        self.in_strip = in_strip
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WritePiece(strip={self.strip}, in_strip={self.in_strip}, nbytes={self.data.nbytes})"
 
 
 def request_wire_size(n_extents: int) -> int:
@@ -153,6 +166,10 @@ class DataServer:
         """Process: disk-read the pieces; value is the concatenated bytes."""
         return self.env.process(self._read_pieces(file, pieces), name=f"dsr:{self.name}")
 
+    def read_pieces_gen(self, file: str, pieces: List[ReadPiece]):
+        """Generator form of :meth:`read_pieces` for ``yield from``."""
+        return self._read_pieces(file, pieces)
+
     def _read_pieces(self, file: str, pieces: List[ReadPiece]):
         total = sum(p.length for p in pieces)
         assert self.node.disk is not None
@@ -186,6 +203,10 @@ class DataServer:
     def write_pieces(self, file: str, pieces: List[WritePiece]):
         """Process: disk-write the pieces into the strip store."""
         return self.env.process(self._write_pieces(file, pieces), name=f"dsw:{self.name}")
+
+    def write_pieces_gen(self, file: str, pieces: List[WritePiece]):
+        """Generator form of :meth:`write_pieces` for ``yield from``."""
+        return self._write_pieces(file, pieces)
 
     def _write_pieces(self, file: str, pieces: List[WritePiece]):
         total = sum(p.data.nbytes for p in pieces)
@@ -226,15 +247,15 @@ class DataServer:
         # other storage nodes".
         yield self.node.cpu.service(self.node.spec.rpc_overhead, f"pfs-{op}")
         if op == "read":
-            data = yield self.read_pieces(request["file"], request["pieces"])
-            reply = self.transport.reply(msg, data, data.nbytes)
+            data = yield from self._read_pieces(request["file"], request["pieces"])
+            reply = self.transport.reply_gen(msg, data, data.nbytes)
         elif op == "write":
-            total = yield self.write_pieces(request["file"], request["pieces"])
-            reply = self.transport.reply(msg, {"written": total}, ACK_BYTES)
+            total = yield from self._write_pieces(request["file"], request["pieces"])
+            reply = self.transport.reply_gen(msg, {"written": total}, ACK_BYTES)
         else:
             raise PFSError(f"unknown PFS op {op!r} from {msg.src!r}")
         try:
-            yield reply
+            yield from reply
         except (NodeDownError, LinkDownError):
             # The requester (or the path back to it) died while we were
             # serving; nothing left to tell anyone.

@@ -25,23 +25,39 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from ..errors import LayoutError
 
 
-@dataclass(frozen=True)
 class StripExtent:
     """One contiguous piece of a byte range, confined to a single strip.
 
     ``offset`` is the absolute file offset of the piece; ``in_strip``
     is the piece's offset within the strip on the holding server.
+
+    Plain ``__slots__`` record (one per strip crossing per mapped byte
+    range — hot on the data path); use :meth:`rehomed` where
+    ``dataclasses.replace`` would have been used.
     """
 
-    strip: int
-    server: str
-    offset: int
-    length: int
-    in_strip: int
+    __slots__ = ("strip", "server", "offset", "length", "in_strip")
+
+    def __init__(self, strip: int, server: str, offset: int, length: int, in_strip: int):
+        self.strip = strip
+        self.server = server
+        self.offset = offset
+        self.length = length
+        self.in_strip = in_strip
 
     @property
     def end(self) -> int:
         return self.offset + self.length
+
+    def rehomed(self, server: str) -> "StripExtent":
+        """A copy of this extent held by a different server."""
+        return StripExtent(self.strip, server, self.offset, self.length, self.in_strip)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StripExtent(strip={self.strip}, server={self.server!r},"
+            f" offset={self.offset}, length={self.length}, in_strip={self.in_strip})"
+        )
 
 
 class Layout(ABC):

@@ -73,9 +73,7 @@ class Scheme(ABC):
         meta = self.pfs.metadata.lookup(input_file)
         meter = TrafficMeter(self.cluster)
         started = self.env.now
-        result = yield self.env.process(
-            self._serve(operator, input_file, output_file, options)
-        )
+        result = yield from self._serve(operator, input_file, output_file, options)
         if not isinstance(result, SchemeResult):
             raise ActiveStorageError(
                 f"{type(self).__name__}._serve must return a SchemeResult"

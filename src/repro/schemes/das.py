@@ -60,9 +60,7 @@ class DynamicActiveStorageScheme(Scheme):
             result = yield self.client.submit(request)
         except OffloadRejectedError as rejected:
             # Dynamic fallback: serve as normal I/O on the compute nodes.
-            ts = yield self.env.process(
-                self._fallback._serve(operator, input_file, output_file, {})
-            )
+            ts = yield from self._fallback._serve(operator, input_file, output_file, {})
             ts.scheme = self.name
             ts.decision = rejected.decision
             ts.extra["fallback"] = "normal-io"

@@ -227,10 +227,8 @@ class LoadAwareExecutor:
             )
             options["trace_span"] = work
         try:
-            yield self.env.process(
-                self._ts._serve(
-                    leader.operator, leader.file, leader.output, options,
-                )
+            yield from self._ts._serve(
+                leader.operator, leader.file, leader.output, options,
             )
             self._record_client_digest(batch, sink)
             span.event("gather", members=n)
@@ -264,8 +262,8 @@ class LoadAwareExecutor:
             )
             options["trace_span"] = work
         try:
-            yield self.env.process(
-                self._nas._serve(leader.operator, leader.file, leader.output, options)
+            yield from self._nas._serve(
+                leader.operator, leader.file, leader.output, options
             )
             self._record_output_digest(batch, leader.output)
             span.event("gather", members=n)

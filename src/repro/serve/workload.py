@@ -211,36 +211,74 @@ class OpenLoopWorkload:
             for t in self.tenants
         ]
 
-    def _arrivals(self, tenant: TenantSpec, sink):
-        env = self.cluster.env
+    def _schedule(self, tenant: TenantSpec, start_at: float) -> list:
+        """Pre-draw the tenant's whole arrival schedule in one tight pass.
+
+        Returns ``[(gap, arrival_time, operator, file), ...]``.  The rng
+        calls are made in *exactly* the order the old in-loop form made
+        them — gap, kernel index, file index, per arrival, with the
+        final over-duration gap drawn but unused — so the substream
+        consumption (and therefore every downstream draw) is
+        bit-identical.  True array vectorisation is off the table here:
+        the gap/kernel/file draws interleave on one substream, and
+        batching any of them would reorder the underlying bit stream.
+        Hoisting the draws out of the event loop still pays — the
+        per-arrival process body shrinks to a timeout and a submit.
+
+        Arrival times are accumulated ``t = t + gap`` left-to-right,
+        the same fold the clock performs when each timeout is
+        scheduled, so ``arrival_time`` equals ``env.now`` at submit to
+        the last bit.
+        """
         rng = self.cluster.rand.stream(f"{STREAM_PREFIX}{tenant.name}")
         rate = tenant.rate * self.load
+        duration = self.duration
+        kernels = tenant.kernels
+        files = tenant.files
+        n_kernels = len(kernels)
+        n_files = len(files)
+        exponential = rng.exponential
+        integers = rng.integers
+        multiplier = self.multiplier
+        flat = self.ramp is None
+        scale = 1.0 / rate
+        out: list = []
+        append = out.append
+        t = start_at
         while True:
-            gap = rng.exponential(1.0 / (rate * self.multiplier(env.now)))
-            if env.now + gap >= self.duration:
-                return
-            yield env.timeout(gap)
-            sink.submit(self._make_request(tenant, rng))
+            gap = exponential(scale if flat else 1.0 / (rate * multiplier(t)))
+            if t + gap >= duration:
+                return out
+            t = t + gap
+            operator = kernels[int(integers(n_kernels))]
+            if not files:
+                raise ServeError(f"tenant {tenant.name!r} has no files to read")
+            file = files[int(integers(n_files))]
+            append((gap, t, operator, file))
 
-    def _make_request(self, tenant: TenantSpec, rng) -> ServeRequest:
+    def _arrivals(self, tenant: TenantSpec, sink):
         env = self.cluster.env
-        operator = tenant.kernels[int(rng.integers(len(tenant.kernels)))]
-        if tenant.files:
-            file = tenant.files[int(rng.integers(len(tenant.files)))]
-        else:
-            raise ServeError(f"tenant {tenant.name!r} has no files to read")
-        self._next_id += 1
-        self.generated += 1
-        return ServeRequest(
-            req_id=self._next_id,
-            tenant=tenant.name,
-            operator=operator,
-            file=file,
-            arrival=env.now,
-            deadline=env.now + self.deadline,
-            cost=0,  # admission fills in the file size
-            pipeline_length=tenant.pipeline_length,
-        )
+        timeout = env.timeout
+        submit = sink.submit
+        name = tenant.name
+        deadline = self.deadline
+        pipeline_length = tenant.pipeline_length
+        for gap, arrival, operator, file in self._schedule(tenant, env.now):
+            yield timeout(gap)
+            self._next_id += 1
+            self.generated += 1
+            submit(
+                ServeRequest(
+                    req_id=self._next_id,
+                    tenant=name,
+                    operator=operator,
+                    file=file,
+                    arrival=arrival,
+                    deadline=arrival + deadline,
+                    cost=0,  # admission fills in the file size
+                    pipeline_length=pipeline_length,
+                )
+            )
 
 
 class ClosedLoopWorkload:

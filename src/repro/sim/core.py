@@ -16,18 +16,55 @@ Typical use::
 
     env.process(worker(env, resource))
     env.run(until=10.0)
+
+Fast-core notes
+---------------
+The event queue is a heap of ``(when, key, event)`` 3-tuples where
+``key = (priority << PRIO_SHIFT) + eid`` packs the URGENT/NORMAL
+priority and the monotone insertion id into one int, so heap ordering —
+and therefore the (time, priority, FIFO) scheduling contract that makes
+replay bit-identical — is decided by at most two scalar comparisons.
+:meth:`Environment.run` inlines the pop/dispatch loop (``step()`` stays
+as the single-event form used by tests and debuggers), and
+:class:`Process` caches the generator's bound ``send``/``throw`` so the
+per-resume cost is two attribute-free calls.  Every dispatched event is
+counted; :func:`events_dispatched_total` feeds the
+``events_per_wall_second`` field the harnesses record.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from types import GeneratorType
 from typing import Any, Generator, List, Optional, Tuple
 
 from ..errors import InterruptError, SimulationError, StopSimulation
-from .events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Initialize, Timeout
+from .events import (
+    NORMAL,
+    NORMAL_KEY,
+    PENDING,
+    PRIO_SHIFT,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Timeout,
+)
 
 Generator_ = Generator[Event, Any, Any]
+
+_INF = float("inf")
+
+#: Events dispatched across every Environment in this interpreter.
+#: Monotone; harnesses snapshot it before/after an experiment to compute
+#: events per wall-second.
+_dispatched_total = 0
+
+
+def events_dispatched_total() -> int:
+    """Total events dispatched process-wide (across all environments)."""
+    return _dispatched_total
 
 
 class Process(Event):
@@ -36,18 +73,39 @@ class Process(Event):
     (the process event fails).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_name", "_send", "_throw")
 
     def __init__(self, env: "Environment", generator: Generator_, name: Optional[str] = None):
         if not isinstance(generator, GeneratorType):
             raise SimulationError(
                 f"process() requires a generator, got {type(generator).__name__}"
             )
-        super().__init__(env)
+        # Inlined Event.__init__: processes are created per request /
+        # message / IO, so construction is a hot path.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
-        self.name = name or getattr(generator, "__name__", "process")
+        self._name = name
+        self._send = generator.send
+        self._throw = generator.throw
         Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        """Process name; defaults to the generator function's name.
+
+        Resolved lazily — it is only read in error messages and reprs,
+        so hot call sites can pass ``name=None`` and never pay for a
+        formatted label.
+        """
+        n = self._name
+        if n is None:
+            n = self._name = getattr(self._generator, "__name__", "process")
+        return n
 
     @property
     def is_alive(self) -> bool:
@@ -68,14 +126,18 @@ class Process(Event):
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
-        if self._generator is self.env.active_process_generator:
+        env = self.env
+        if self._generator is env.active_process_generator:
             raise SimulationError("a process cannot interrupt itself")
-        interrupt_ev = Event(self.env)
+        interrupt_ev = Event.__new__(Event)
+        interrupt_ev.env = env
+        interrupt_ev.callbacks = [self._resume]
         interrupt_ev._ok = False
         interrupt_ev._value = InterruptError(cause)
         interrupt_ev._defused = True
-        interrupt_ev.callbacks = [self._resume]
-        self.env.schedule(interrupt_ev, priority=URGENT)
+        env._eid += 1
+        # URGENT priority: packed key is the bare eid.
+        heappush(env._queue, (env._now, env._eid, interrupt_ev))
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
@@ -84,61 +146,69 @@ class Process(Event):
 
         # Drop the stale target: if we are resumed by an interrupt while
         # still subscribed to another event, unsubscribe from it.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            cbs = target.callbacks
+            if cbs is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    cbs.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
 
+        send = self._send
+        throw = self._throw
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed: throw into the process.
                     event._defused = True
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = throw(event._value)
             except StopIteration as stop:
                 # Process finished normally.
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self, priority=NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL_KEY + env._eid, self))
                 break
             except BaseException as exc:
                 # Process died with an exception -> fail the process event.
                 self._ok = False
                 self._value = exc
-                env.schedule(self, priority=NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL_KEY + env._eid, self))
                 break
 
-            if not isinstance(next_event, Event):
-                error = SimulationError(
+            if isinstance(next_event, Event):
+                if next_event.env is not env:
+                    raise SimulationError(
+                        "cannot yield an event from a different environment"
+                    )
+                cbs = next_event.callbacks
+                if cbs is not None:
+                    # Event still pending or queued — wait for it.
+                    cbs.append(self._resume)
+                    self._target = next_event
+                    break
+                # Event already processed — loop and feed its value immediately.
+                event = next_event
+            else:
+                # Non-event yield: present the error as a pre-failed
+                # event so the loop's throw path delivers it.  If the
+                # generator catches it and yields a replacement event,
+                # the loop keeps driving the process (it used to fall
+                # through here and strand the generator forever).
+                stub = Event.__new__(Event)
+                stub.env = env
+                stub.callbacks = None
+                stub._value = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                try:
-                    self._generator.throw(error)
-                except StopIteration as stop:
-                    self._ok = True
-                    self._value = stop.value
-                    env.schedule(self, priority=NORMAL)
-                except BaseException as exc:
-                    self._ok = False
-                    self._value = exc
-                    env.schedule(self, priority=NORMAL)
-                break
-            if next_event.env is not env:
-                raise SimulationError("cannot yield an event from a different environment")
-
-            if next_event.callbacks is not None:
-                # Event still pending or queued — wait for it.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
-                break
-            # Event already processed — loop and feed its value immediately.
-            event = next_event
+                stub._ok = False
+                stub._defused = True
+                event = stub
 
         env._active_proc = None
 
@@ -152,15 +222,31 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        self._dispatched = 0
+        # Clock-advance hooks: callables invoked when the engine is
+        # about to advance the clock (or idle out) while `_hooks_armed`
+        # is set.  Continuous-time models (the fluid network) use this
+        # to settle derived state — e.g. recompute flow rates and plant
+        # the next completion timer — exactly once per distinct
+        # timestamp instead of once per mutation.  Hooks may push new
+        # events (at `now` or later); the dispatch loop re-peeks after
+        # running them.
+        self._advance_hooks: List[Any] = []
+        self._hooks_armed = False
 
     # -- clock ----------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time (seconds)."""
         return self._now
+
+    @property
+    def dispatched(self) -> int:
+        """Events dispatched by this environment so far."""
+        return self._dispatched
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -195,29 +281,49 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(
+            self._queue,
+            (self._now + delay, (priority << PRIO_SHIFT) + self._eid, event),
+        )
+
+    def add_advance_hook(self, hook) -> None:
+        """Register a clock-advance hook (see ``_advance_hooks``).
+
+        The hook is only invoked while :attr:`_hooks_armed` is True; the
+        registrant is responsible for arming the flag whenever it has
+        deferred work to settle, and the engine clears it before the
+        hooks run.
+        """
+        self._advance_hooks.append(hook)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
+        if self._hooks_armed and (not self._queue or self._queue[0][0] > self._now):
+            self._hooks_armed = False
+            for hook in self._advance_hooks:
+                hook()
         try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
+            when, _key, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("step(): no scheduled events") from None
 
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        self._dispatched += 1
+        global _dispatched_total
+        _dispatched_total += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             # Nobody handled the failure — surface it.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Optional[object] = None) -> Any:
         """Run the simulation.
@@ -227,7 +333,7 @@ class Environment:
         * ``until=<Event>`` — run until the event is processed and
           return its value (raising if it failed).
         """
-        stop_at = float("inf")
+        stop_at = _INF
         stop_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
@@ -245,20 +351,49 @@ class Environment:
                         f"run(until={stop_at!r}) is not in the future (now={self._now!r})"
                     )
 
+        # Inlined step() loop: local bindings for the queue and heappop,
+        # dispatch in place, and one flush of the dispatch counters on
+        # the way out.  Semantics are identical to `while ...: step()`.
+        queue = self._queue
+        pop = heappop
+        n = 0
         try:
-            while self._queue and self.peek() < stop_at:
-                self.step()
+            while True:
+                if self._hooks_armed and (not queue or queue[0][0] > self._now):
+                    # Settle deferred continuous-time state before the
+                    # clock moves (or the queue idles out); hooks may
+                    # push events, so re-peek on the next iteration.
+                    self._hooks_armed = False
+                    for hook in self._advance_hooks:
+                        hook()
+                    continue
+                if not queue or queue[0][0] >= stop_at:
+                    break
+                when, _key, event = pop(queue)
+                self._now = when
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             event = stop.args[0]
             if event._ok:
                 return event._value
             raise event._value from None
+        finally:
+            self._dispatched += n
+            global _dispatched_total
+            _dispatched_total += n
 
         if stop_event is not None and stop_event.callbacks is not None:
             raise SimulationError(
                 "run() ran out of events before the `until` event triggered"
             )
-        if stop_at != float("inf"):
+        if stop_at != _INF:
             self._now = stop_at
         if stop_event is not None:
             if stop_event._ok:

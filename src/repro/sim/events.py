@@ -8,10 +8,26 @@ a list of callbacks invoked when the event is processed by the
 
 Composite conditions (``ev1 & ev2``, ``ev1 | ev2``) are provided by
 :class:`AllOf` / :class:`AnyOf`.
+
+Fast-core notes
+---------------
+This module is on the engine's hottest path: a serving cell creates and
+processes hundreds of thousands of events, so the constructors of
+:class:`Timeout` and :class:`Initialize` and the trigger methods
+(:meth:`Event.succeed`/:meth:`Event.fail`) write the heap entry
+directly instead of going through ``Environment.schedule``.  The heap
+entry is ``(when, key, event)`` where ``key`` packs the scheduling
+priority and the monotone event id into one integer
+(``priority << PRIO_SHIFT | eid``), so the scheduling contract — events
+at the same timestamp process URGENT before NORMAL, FIFO within a
+priority — is a single int comparison.  The packed layout is
+load-bearing for bit-identical replay; see
+docs/ARCHITECTURE.md#engine-internals--scheduling-contract.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from ..errors import SimulationError
@@ -23,6 +39,14 @@ if TYPE_CHECKING:  # pragma: no cover
 # before normal events at the same timestamp.
 URGENT = 0
 NORMAL = 1
+
+#: Bits reserved for the event id in a packed sort key.  2**52 events
+#: is far beyond any run; keeping the key under 2**63 keeps it a fast
+#: machine int in CPython.
+PRIO_SHIFT = 52
+
+#: Packed-key addend for a NORMAL-priority entry (URGENT adds nothing).
+NORMAL_KEY = NORMAL << PRIO_SHIFT
 
 #: Sentinel for "no value yet".
 PENDING = object()
@@ -80,7 +104,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL_KEY + env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -96,7 +122,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL_KEY + env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -112,6 +140,28 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so the environment does not
         re-raise its exception when no process was waiting."""
+        self._defused = True
+
+    def cancel(self) -> None:
+        """Lazy cancellation: detach every callback so processing this
+        event at its timestamp is a no-op pop.
+
+        This is the engine's answer to dead deadlines (the
+        :class:`~repro.sim.resources.PriorityResource` tombstone idea
+        pushed down into the event queue): a per-request ``rpc_timeout``
+        that lost its race would otherwise still walk its callback list
+        — typically a condition ``_check`` — when its timestamp
+        arrives.  Cancelling empties the list in place; the heap entry
+        stays (removal would be O(n)) but its dispatch costs nothing
+        and a cancelled *failure* is implicitly defused.
+
+        Only cancel an event that no process will wait on again.  The
+        simulated clock still advances through the cancelled timestamp
+        exactly as before, so replay is unaffected.
+        """
+        cbs = self.callbacks
+        if cbs is not None:
+            cbs.clear()
         self._defused = True
 
     # -- composition ---------------------------------------------------------
@@ -136,11 +186,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + schedule: a Timeout is born triggered,
+        # and this constructor runs for every simulated think/seek/busy
+        # period, so it pays to write the heap entry directly.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL_KEY + env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
@@ -152,11 +208,14 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Event"):
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]  # type: ignore[attr-defined]
-        self._ok = True
         self._value = None
-        env.schedule(self, priority=URGENT)
+        self._ok = True
+        self._defused = False
+        env._eid += 1
+        # URGENT priority: packed key is the bare eid.
+        heappush(env._queue, (env._now, env._eid, self))
 
 
 class ConditionValue:

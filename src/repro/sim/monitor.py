@@ -14,17 +14,27 @@ from ..obs.span import NULL_TRACER
 from .core import Environment
 
 
-@dataclass
 class Counter:
-    """A monotonically increasing tally (bytes sent, requests served...)."""
+    """A monotonically increasing tally (bytes sent, requests served...).
 
-    name: str
-    value: float = 0.0
-    events: int = 0
+    Deliberately a bare slotted class, not a dataclass: ``add`` runs for
+    every byte-accounting touch on the hot path, so the object is two
+    plain attribute bumps and nothing else.
+    """
+
+    __slots__ = ("name", "value", "events")
+
+    def __init__(self, name: str, value: float = 0.0, events: int = 0):
+        self.name = name
+        self.value = value
+        self.events = events
 
     def add(self, amount: float = 1.0) -> None:
         self.value += amount
         self.events += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter(name={self.name!r}, value={self.value!r}, events={self.events!r})"
 
 
 class Gauge:
@@ -33,6 +43,8 @@ class Gauge:
     ``time_average(now)`` integrates the level over time, which is the
     correct way to report mean utilisation from a DES.
     """
+
+    __slots__ = ("env", "name", "_level", "_area", "_last_change", "_peak")
 
     def __init__(self, env: Environment, name: str, initial: float = 0.0):
         self.env = env
@@ -68,7 +80,7 @@ class Gauge:
         return total / now if now > 0 else self._level
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
     """One logged simulation occurrence."""
 

@@ -33,9 +33,15 @@ class Request(Event):
     __slots__ = ("resource", "proc")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ (hot path: one per device op).
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
-        self.proc = resource.env.active_process
+        self.proc = env.active_process
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
@@ -370,7 +376,12 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # Inlined Event.__init__ (hot path: one per message).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
         store._put_waiters.append(self)
         store._trigger()
@@ -380,7 +391,12 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store: "Store"):
-        super().__init__(store.env)
+        # Inlined Event.__init__ (hot path: one per receive).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         store._get_waiters.append(self)
         store._trigger()
 
@@ -447,13 +463,17 @@ class FilterStore(Store):
 
     def _match(self, waiters: List[StoreGet]) -> Optional[StoreGet]:
         # Scan waiters in order; serve the first whose predicate matches
-        # some stored item.  Unmatched waiters stay queued.
+        # some stored item.  Unmatched waiters stay queued.  Hot under
+        # load (every put rescans waiters x items), so the inner loop is
+        # attribute-free: every waiter created through FilterStore.get
+        # carries a `filter` callable.
+        items = self.items
         for wi, get in enumerate(waiters):
-            predicate = getattr(get, "filter", None) or (lambda item: True)
-            for ii, item in enumerate(self.items):
+            predicate = get.filter  # type: ignore[attr-defined]
+            for ii, item in enumerate(items):
                 if predicate(item):
                     waiters.pop(wi)
-                    self.items.pop(ii)
+                    items.pop(ii)
                     get.succeed(item)
                     return get
         return None

@@ -1,0 +1,132 @@
+"""Structured mailbox matching (`repro.net.transport.Mailbox`).
+
+The mailbox used to match with composed lambdas; it now scans the
+declarative ``(tag, reply_to, match)`` attributes inline.  These tests
+pin the semantics the transport relies on: FIFO within a selector,
+waiters served in arrival order, selective gets leaving non-matching
+items untouched, and blocked waiters waking when a matching item
+arrives later.
+"""
+
+from repro.net.message import Message
+from repro.net.transport import Mailbox
+from repro.sim import Environment
+
+
+def _msg(tag="data", reply_to=None, payload=None):
+    return Message("a", "b", 100, tag=tag, payload=payload, reply_to=reply_to)
+
+
+def _drain(env, box, results, **selectors):
+    def getter(env):
+        msg = yield box.get(
+            selectors.get("tag"), selectors.get("reply_to"), selectors.get("match")
+        )
+        results.append(msg)
+
+    env.process(getter(env))
+
+
+def test_plain_get_is_fifo():
+    env = Environment()
+    box = Mailbox(env)
+    first, second = _msg(payload=1), _msg(payload=2)
+    box.put(first)
+    box.put(second)
+    out = []
+    _drain(env, box, out)
+    _drain(env, box, out)
+    env.run()
+    assert [m.payload for m in out] == [1, 2]
+
+
+def test_tag_get_skips_other_tags():
+    env = Environment()
+    box = Mailbox(env)
+    box.put(_msg(tag="control", payload="c"))
+    box.put(_msg(tag="data", payload="d1"))
+    box.put(_msg(tag="data", payload="d2"))
+    out = []
+    _drain(env, box, out, tag="data")
+    env.run()
+    assert [m.payload for m in out] == ["d1"]
+    # The control message was not consumed.
+    assert [m.payload for m in box.items] == ["c", "d2"]
+
+
+def test_reply_to_get_selects_the_correlated_reply():
+    env = Environment()
+    box = Mailbox(env)
+    box.put(_msg(tag="rpc-reply", reply_to=7, payload="wrong"))
+    box.put(_msg(tag="rpc-reply", reply_to=42, payload="right"))
+    out = []
+    _drain(env, box, out, tag="rpc-reply", reply_to=42)
+    env.run()
+    assert [m.payload for m in out] == ["right"]
+    assert [m.reply_to for m in box.items] == [7]
+
+
+def test_reply_to_without_tag_matches_any_tag():
+    env = Environment()
+    box = Mailbox(env)
+    box.put(_msg(tag="data", reply_to=5, payload="x"))
+    out = []
+    _drain(env, box, out, reply_to=5)
+    env.run()
+    assert [m.payload for m in out] == ["x"]
+
+
+def test_predicate_composes_with_tag_and_reply_to():
+    env = Environment()
+    box = Mailbox(env)
+    box.put(_msg(tag="data", reply_to=1, payload=10))
+    box.put(_msg(tag="data", reply_to=1, payload=20))
+    out = []
+    _drain(env, box, out, tag="data", reply_to=1, match=lambda m: m.payload > 15)
+    env.run()
+    assert [m.payload for m in out] == [20]
+    assert [m.payload for m in box.items] == [10]
+
+
+def test_blocked_waiter_wakes_on_matching_put():
+    env = Environment()
+    box = Mailbox(env)
+    out = []
+    _drain(env, box, out, tag="result")
+
+    def producer(env):
+        yield env.timeout(1.0)
+        yield box.put(_msg(tag="control", payload="noise"))
+        yield env.timeout(1.0)
+        yield box.put(_msg(tag="result", payload="answer"))
+
+    env.process(producer(env))
+    env.run()
+    assert [m.payload for m in out] == ["answer"]
+    assert env.now == 2.0
+    assert [m.payload for m in box.items] == ["noise"]
+
+
+def test_waiters_served_in_arrival_order():
+    env = Environment()
+    box = Mailbox(env)
+    out = []
+
+    def getter(label, tag):
+        def _g(env):
+            msg = yield box.get(tag, None, None)
+            out.append((label, msg.payload))
+
+        env.process(_g(env))
+
+    getter("first", "data")
+    getter("second", "data")
+    env.process(iter_put(env, box))
+    env.run()
+    assert out == [("first", 1), ("second", 2)]
+
+
+def iter_put(env, box):
+    yield env.timeout(0.5)
+    yield box.put(_msg(tag="data", payload=1))
+    yield box.put(_msg(tag="data", payload=2))
