@@ -6,12 +6,14 @@ every push; needs numpy, unlike ``check_docs.py``)::
 
     python scripts/check_counters.py
 
-The check drives two short but *maximally messy* serving runs — a DAS
-chaos storm (crash + slow disk + link cut, recovery armed, batching on)
-and an autoscale cell (resize up and down) — so that every subsystem
-books its counters and gauges: admission, DWRR, batching, the decision
-cache, wire accounting, device busy-time, the strip caches, the fault
-plane, and the autoscale controller.  Then it asserts:
+The check drives three short but *maximally messy* serving runs — the
+``chaos-storm`` library scenario (crash + slow disk + link cut,
+recovery armed, batching on), an autoscale cell (resize up and down),
+and a 2-cell federated fleet (router probes, spillover, long-tail
+fluid load) — so that every subsystem books its counters and gauges:
+admission, DWRR, batching, the decision cache, wire accounting, device
+busy-time, the strip caches, the fault plane, the autoscale
+controller, and the fleet tier.  Then it asserts:
 
 1. **Declared** — :meth:`MetricRegistry.undeclared` is empty: every
    name booked in the MonitorHub is covered by an exact
@@ -36,54 +38,25 @@ from typing import List
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-#: Short enough for CI, long enough that the storm's whole fault
-#: schedule and at least one autoscale resize both land.
-STORM_DURATION = 3.0
+#: Short enough for CI, long enough that at least one autoscale resize
+#: lands (the storm's schedule is pinned by its scenario document) and
+#: the fleet cell sees its chaos round trip.
 AUTOSCALE_DURATION = 6.0
+FLEET_DURATION = 3.0
 
 OPERATIONS_DOC = REPO / "docs" / "OPERATIONS.md"
 
 
 def storm_system():
-    """A DAS chaos-storm run with batching on; returns the live system."""
-    import numpy as np
+    """The chaos-storm library scenario, materialized; returns the live
+    system.  The scenario document (``repro/scenarios/library/``) is the
+    single source of the storm's shape — crash + slow disk + link cut,
+    recovery armed, batching on — so this check exercises the same cell
+    the scenario bench gates."""
+    from repro.scenarios import build_scenario, load_scenario
+    from repro.serve import ServeSystem
 
-    from repro.harness.chaos_bench import (
-        CHAOS_DEADLINE,
-        CHAOS_LOAD,
-        CHAOS_RECOVERY,
-        replicated_ingest,
-        storm_plan,
-    )
-    from repro.harness.platform import ExperimentPlatform, build_platform
-    from repro.harness.serve_bench import (
-        RASTER,
-        SERVE_NODES,
-        SERVE_SPEC,
-        SERVE_STRIP,
-        serve_tenants,
-    )
-    from repro.serve import ServeConfig, ServeSystem
-    from repro.workloads import fractal_dem
-
-    platform = ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
-    cluster, pfs = build_platform(SERVE_NODES, platform)
-    rng = np.random.default_rng(platform.seed)
-    for name in ("dem_a", "dem_b"):
-        replicated_ingest(pfs, name, fractal_dem(*RASTER, rng=rng))
-    config = ServeConfig(
-        tenants=serve_tenants(),
-        scheme="DAS",
-        duration=STORM_DURATION,
-        deadline=CHAOS_DEADLINE,
-        load=CHAOS_LOAD,
-        concurrency=8,
-        queue_capacity=12,
-        batch_max=8,
-        faults=storm_plan(pfs, STORM_DURATION),
-        recovery=CHAOS_RECOVERY,
-        decision_ttl=1.0,
-    )
+    pfs, config = build_scenario(load_scenario("chaos-storm"))
     system = ServeSystem(pfs, config)
     system.run()
     return system
@@ -101,6 +74,40 @@ def autoscale_system():
         MIN_SERVERS, MAX_SERVERS, MIN_SERVERS, AUTOSCALE_DURATION
     )
     return system
+
+
+def fleet_system():
+    """A 2-cell federated run — chaos in one cell, long-tail fluid load,
+    router probes and spillover — so the fleet tier books its ``fleet.*``
+    counters and gauges; returns the live FleetSystem."""
+    from repro.harness.fleet_bench import fleet_run, fleet_tenants
+
+    _, system = fleet_run(
+        2,
+        fleet_tenants(),
+        FLEET_DURATION,
+        policy="least-loaded",
+        chaos_cell=0,
+        longtail=True,
+    )
+    return system
+
+
+def check_fleet(system) -> List[str]:
+    """The fleet hub (router/controller/long-tail metrics) plus every
+    cell's own registry, histograms included."""
+    problems = []
+    registry = system.metrics
+    booked = len(registry.monitors.counters) + len(registry.monitors.gauges)
+    for name in registry.undeclared():
+        problems.append(f"fleet: booked metric {name!r} is not in the catalog")
+    for issue in registry.mistyped():
+        problems.append(f"fleet: {issue}")
+    if not problems:
+        print(f"  fleet: {booked} booked counters/gauges all declared")
+    for cell in system.cells:
+        problems += check_run(f"fleet/{cell.name}", cell)
+    return problems
 
 
 def check_run(label: str, system) -> List[str]:
@@ -144,6 +151,8 @@ def main() -> int:
     problems += check_run("storm", storm_system())
     print("running autoscale cell (resize up/down):")
     problems += check_run("autoscale", autoscale_system())
+    print("running federated fleet (2 cells, chaos + long-tail):")
+    problems += check_fleet(fleet_system())
     print("checking the catalog against docs/OPERATIONS.md:")
     problems += check_documented()
     if problems:

@@ -74,6 +74,8 @@ FOREIGN_FLAGS = {
     "--files",
     "--wall-tolerance",
     "--no-wall",
+    "--history-dir",
+    "--throughput-tolerance",
 }
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

@@ -19,11 +19,25 @@ under ``benchmarks/``.  It enforces two different contracts:
   guard — pass a wider ``--wall-tolerance`` there, and treat the tight
   default as the bar for same-host before/after runs.
 
+``--history-dir`` additionally keeps an **append-only ledger**: one
+JSONL line per checked file per run (``benchmarks/history/<name>.jsonl``
+holds the bench name, ``scale_kb``, ``events_dispatched_total``, the
+wall total, events/wall-second, and the run's verdict).  Before
+appending, the candidate is gated against the most recent *passing*
+ledger entry at the same scale: ``events_dispatched_total`` must match
+exactly (the event count is deterministic — any drift means the
+simulator changed behind the baselines' back), and with
+``--throughput-tolerance`` the events-per-wall-second figure may not
+drop more than the given fraction below the recorded run (a
+same-host-only gate, like ``--wall-tolerance``).
+
 Usage::
 
     PYTHONPATH=src python -m repro.harness all --bench-dir /tmp/bench
     python scripts/check_regression.py --candidate /tmp/bench
     python scripts/check_regression.py --candidate /tmp/bench --no-wall
+    python scripts/check_regression.py --candidate /tmp/bench \
+        --history-dir benchmarks/history --throughput-tolerance 0.5
 """
 
 from __future__ import annotations
@@ -123,6 +137,72 @@ def check_file(baseline: Path, candidate: Path, wall_tolerance, check_wall: bool
     return failures
 
 
+def history_gate(
+    history_dir: Path,
+    name: str,
+    cand: dict,
+    file_ok: bool,
+    throughput_tolerance,
+):
+    """Gate ``cand`` against the ledger, then append this run to it.
+
+    Returns the list of history failures.  The appended entry records
+    the final verdict (file checks *and* history gates), and only
+    passing entries are compared against later — a bad run is logged
+    but never becomes the reference.
+    """
+    failures = []
+    path = history_dir / (Path(name).stem + ".jsonl")
+    prior = None
+    if path.exists():
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            entry = json.loads(line)
+            if (
+                entry.get("scale_kb") == cand.get("scale_kb")
+                and entry.get("checks_pass")
+            ):
+                prior = entry  # last passing run at this scale wins
+    if prior is not None:
+        base_events = prior.get("events_dispatched_total")
+        cand_events = cand.get("events_dispatched_total")
+        if base_events is not None and cand_events != base_events:
+            failures.append(
+                f"events-dispatched drift vs history: {cand_events} !="
+                f" {base_events} (last passing run at scale_kb"
+                f" {cand.get('scale_kb')})"
+            )
+        if throughput_tolerance is not None:
+            base_eps = float(prior.get("events_per_wall_second") or 0.0)
+            cand_eps = float(cand.get("events_per_wall_second") or 0.0)
+            if base_eps > 0 and cand_eps < base_eps * (1.0 - throughput_tolerance):
+                failures.append(
+                    f"throughput regression vs history: {cand_eps:.0f}"
+                    f" events/wall-second vs {base_eps:.0f} recorded"
+                    f" (>{throughput_tolerance:.0%} below)"
+                )
+        if not failures:
+            print(
+                f"  history: events {cand.get('events_dispatched_total')}"
+                f" match the last passing run"
+            )
+    else:
+        print(f"  history: first recorded run at scale_kb {cand.get('scale_kb')}")
+    history_dir.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "bench": cand.get("bench"),
+        "scale_kb": cand.get("scale_kb"),
+        "events_dispatched_total": cand.get("events_dispatched_total"),
+        "wall_seconds_total": cand.get("wall_seconds_total"),
+        "events_per_wall_second": cand.get("events_per_wall_second"),
+        "checks_pass": file_ok and not failures,
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="benchmarks", metavar="DIR",
@@ -137,6 +217,15 @@ def main(argv=None) -> int:
                              " (default 0.20 = +20%%)")
     parser.add_argument("--no-wall", action="store_true",
                         help="skip the wall-clock gate (determinism only)")
+    parser.add_argument("--history-dir", default=None, metavar="DIR",
+                        help="append-only JSONL perf ledger; gates the"
+                             " candidate's events_dispatched_total against"
+                             " the last passing run at the same scale")
+    parser.add_argument("--throughput-tolerance", type=float, default=None,
+                        metavar="FRACTION",
+                        help="with --history-dir: allowed relative drop in"
+                             " events_per_wall_second vs the last passing"
+                             " run (same-host only; off by default)")
     args = parser.parse_args(argv)
 
     baseline_dir = Path(args.baseline)
@@ -170,6 +259,14 @@ def main(argv=None) -> int:
         failures = check_file(
             base_path, cand_path, args.wall_tolerance, not args.no_wall
         )
+        if args.history_dir is not None:
+            failures += history_gate(
+                Path(args.history_dir),
+                name,
+                json.loads(cand_path.read_text()),
+                file_ok=not failures,
+                throughput_tolerance=args.throughput_tolerance,
+            )
         if failures:
             failed += 1
             print(f"FAIL {name}:")

@@ -128,6 +128,10 @@ class ScenarioError(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """Errors raised by the multi-cell fleet layer (repro.fleet)."""
+
+
 class HarnessError(ReproError):
     """Errors raised by the experiment harness."""
 

@@ -1,0 +1,32 @@
+"""Multi-cell federation: N DAS serving cells behind a global tier.
+
+The paper evaluates one active-storage cell; this package is the layer
+the ROADMAP's million-user items build on.  N independent cells — each
+today's full serve stack (admission, DWRR with per-node slot sharding,
+decision cache, SLO board, optional autoscale) over its own cluster and
+PFS — share one simulation clock behind a :class:`FleetRouter` (sticky
+/ least-loaded / locality placement, probed cell health wired to
+``repro.faults``, cross-cell spillover), a :class:`FleetController`
+(per-cell autoscaling arbitrated against a fleet server budget), and an
+optional :class:`LongtailAggregator` (background tenant populations as
+fluid streams, the foreground cohort exact).
+
+See ``docs/ARCHITECTURE.md`` ("The fleet tier") and the ``fleet-bench``
+harness (``benchmarks/BENCH_fleet.json``).
+"""
+
+from .cell import Cell
+from .controller import FleetController
+from .longtail import LongtailAggregator, LongtailStream
+from .router import PLACEMENT_POLICIES, FleetRouter
+from .system import FleetSystem
+
+__all__ = [
+    "Cell",
+    "FleetController",
+    "FleetRouter",
+    "FleetSystem",
+    "LongtailAggregator",
+    "LongtailStream",
+    "PLACEMENT_POLICIES",
+]

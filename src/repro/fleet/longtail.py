@@ -1,0 +1,180 @@
+"""Long-tail tenant populations as aggregated fluid streams.
+
+Millions of background users cannot be a million generator processes.
+The long tail is instead modeled as *fluid*: each
+:class:`LongtailStream` describes an aggregated tenant population
+(requests/second × bytes/request, piecewise-constant over phases), and
+the :class:`LongtailAggregator` drains each phase's offered volume
+through one :class:`~repro.net.fluid.FluidScheduler` link per cell
+(``longtail.<cell>``, capacity = the cell's background byte budget).
+Rates share the link max-min fairly with every other live phase, and
+the engine's lazy-settle hook means a burst of same-instant phase
+transitions costs one progressive-filling pass — the properties the
+``tests/net`` edge-case suite pins down.
+
+The foreground cohort stays exact (individual requests through the
+router); the aggregator only produces *aggregate* accounting — requests
+and bytes drained per cell, booked under ``fleet.longtail.*`` — plus a
+conservation check (everything offered drains by quiescence) and a
+utilization signal the router folds into its load ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import FleetError
+from ..net.fluid import FluidScheduler
+
+LINK_PREFIX = "longtail."
+
+
+class LongtailStream:
+    """One aggregated background population, pinned to a cell.
+
+    ``phases`` is a piecewise-constant rate track ``((t0, r0), (t1,
+    r1), ...)``: ``r_i`` requests/second from ``t_i`` until the next
+    phase (or the horizon).  Zero-rate phases are legal (a population
+    going quiet) and offer nothing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cell: str,
+        bytes_per_request: int,
+        phases: Sequence[Tuple[float, float]],
+    ):
+        if bytes_per_request <= 0:
+            raise FleetError(
+                f"stream {name!r} needs positive bytes_per_request"
+            )
+        if not phases:
+            raise FleetError(f"stream {name!r} declares no phases")
+        times = [t for t, _ in phases]
+        if times != sorted(times):
+            raise FleetError(f"stream {name!r} phases must be time-ordered")
+        if any(r < 0 for _, r in phases):
+            raise FleetError(f"stream {name!r} has a negative rate")
+        self.name = name
+        self.cell = cell
+        self.bytes_per_request = int(bytes_per_request)
+        self.phases = tuple((float(t), float(r)) for t, r in phases)
+
+
+class LongtailAggregator:
+    """Drives every stream's phases through per-cell fluid links."""
+
+    def __init__(
+        self,
+        env,
+        monitors,
+        streams: Sequence[LongtailStream],
+        cell_names: Sequence[str],
+        capacity: float,
+        horizon: float,
+    ):
+        if capacity <= 0:
+            raise FleetError("long-tail link capacity must be positive")
+        if horizon <= 0:
+            raise FleetError("long-tail horizon must be positive")
+        names = set(cell_names)
+        for stream in streams:
+            if stream.cell not in names:
+                raise FleetError(
+                    f"stream {stream.name!r} targets unknown cell"
+                    f" {stream.cell!r}"
+                )
+        self.env = env
+        self.monitors = monitors
+        self.streams = tuple(streams)
+        self.horizon = float(horizon)
+        self.fluid = FluidScheduler(env)
+        for name in cell_names:
+            self.fluid.add_link(LINK_PREFIX + name, capacity)
+        self.offered_requests = 0
+        self.offered_bytes = 0
+        self.completed_requests = 0
+        self.completed_bytes = 0
+        #: Per-cell drained requests (placement accounting).
+        self.by_cell: Dict[str, int] = {name: 0 for name in cell_names}
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> List[object]:
+        """Spawn one phase-driver process per stream."""
+        if self._started:
+            raise FleetError("long-tail aggregator already started")
+        self._started = True
+        return [
+            self.env.process(
+                self._drive(stream), name=f"longtail:{stream.name}"
+            )
+            for stream in self.streams
+        ]
+
+    def _drive(self, stream: LongtailStream):
+        """Offer each phase's aggregate volume as one fluid flow.
+
+        Phases are *offered load*: the flow for phase ``i`` starts at
+        ``t_i`` whether or not earlier phases have drained — overlap is
+        exactly a rate mutation on the link, settled once per distinct
+        timestamp by the fluid scheduler's clock hook.
+        """
+        link = LINK_PREFIX + stream.cell
+        boundaries = list(stream.phases) + [(self.horizon, 0.0)]
+        for (at, rate), (next_at, _) in zip(boundaries, boundaries[1:]):
+            if at >= self.horizon:
+                break
+            if self.env.now < at:
+                yield self.env.timeout(at - self.env.now)
+            span = min(next_at, self.horizon) - at
+            requests = int(round(rate * span))
+            if requests <= 0:
+                continue  # zero-rate (or sub-request) phase: offers nothing
+            volume = requests * stream.bytes_per_request
+            self.offered_requests += requests
+            self.offered_bytes += volume
+            done = self.fluid.start((link,), volume)
+            done.callbacks.append(
+                self._completion(stream.cell, requests, volume)
+            )
+
+    def _completion(self, cell: str, requests: int, volume: int):
+        def on_done(_event) -> None:
+            self.completed_requests += requests
+            self.completed_bytes += volume
+            self.by_cell[cell] += requests
+            self.monitors.counter("fleet.longtail.requests").add(requests)
+            self.monitors.counter("fleet.longtail.bytes").add(volume)
+
+        return on_done
+
+    # -- signals ----------------------------------------------------------------
+    def utilization(self, cell: str) -> float:
+        """Fraction of the cell's background capacity currently in use."""
+        return self.fluid.link_utilization(LINK_PREFIX + cell)
+
+    def conservation_ok(self) -> bool:
+        """Every offered byte drained (meaningful after quiescence)."""
+        return (
+            self.completed_requests == self.offered_requests
+            and self.completed_bytes == self.offered_bytes
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "streams": len(self.streams),
+            "offered_requests": self.offered_requests,
+            "offered_bytes": self.offered_bytes,
+            "completed_requests": self.completed_requests,
+            "completed_bytes": self.completed_bytes,
+            "by_cell": dict(self.by_cell),
+            "conservation_ok": self.conservation_ok(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LongtailAggregator streams={len(self.streams)}"
+            f" drained={self.completed_requests}/{self.offered_requests}>"
+        )

@@ -417,6 +417,7 @@ def ext_oversub(
 from .autoscale_bench import autoscale_bench  # noqa: E402  (needs ExperimentReport above)
 from .chaos_bench import chaos_bench  # noqa: E402  (needs ExperimentReport above)
 from .engine_bench import engine_bench  # noqa: E402  (needs ExperimentReport above)
+from .fleet_bench import fleet_bench  # noqa: E402  (needs ExperimentReport above)
 from .serve_bench import serve_bench  # noqa: E402  (needs ExperimentReport above)
 
 
@@ -442,6 +443,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "chaos-bench": chaos_bench,
     "autoscale-bench": autoscale_bench,
     "scenario-bench": _scenario_bench,
+    "fleet-bench": fleet_bench,
 }
 
 

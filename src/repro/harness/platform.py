@@ -47,8 +47,14 @@ class ExperimentPlatform:
 def build_platform(
     n_nodes: int,
     platform: Optional[ExperimentPlatform] = None,
+    env=None,
 ) -> Tuple[Cluster, ParallelFileSystem]:
-    """A cluster of ``n_nodes`` with the paper's storage/compute split."""
+    """A cluster of ``n_nodes`` with the paper's storage/compute split.
+
+    ``env`` threads a shared :class:`~repro.sim.Environment` through to
+    :meth:`Cluster.build` so several platforms (fleet cells) can live on
+    one simulation clock; the default builds a fresh environment.
+    """
     platform = platform or ExperimentPlatform()
     n_storage = max(1, round(n_nodes * platform.storage_fraction))
     n_compute = n_nodes - n_storage
@@ -59,6 +65,7 @@ def build_platform(
         n_storage=n_storage,
         spec=platform.spec,
         sim_config=SimConfig(seed=platform.seed, strip_size=platform.strip_size),
+        env=env,
     )
     pfs = ParallelFileSystem(cluster, strip_size=platform.strip_size)
     return cluster, pfs

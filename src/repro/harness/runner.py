@@ -83,6 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "chaos-bench",
             "autoscale-bench",
             "scenario-bench",
+            "fleet-bench",
         ):
             kwargs["trace_dir"] = args.trace_dir
             kwargs["trace_sample"] = args.trace_sample

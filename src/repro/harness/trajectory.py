@@ -31,6 +31,7 @@ FAULTS_BENCH_FILE = "BENCH_faults.json"
 AUTOSCALE_BENCH_FILE = "BENCH_autoscale.json"
 SCENARIOS_BENCH_FILE = "BENCH_scenarios.json"
 ENGINE_BENCH_FILE = "BENCH_engine.json"
+FLEET_BENCH_FILE = "BENCH_fleet.json"
 
 #: Experiments recorded into BENCH_paper.json.
 PAPER_EXPERIMENTS = (
@@ -141,6 +142,11 @@ def write_trajectory(
             ENGINE_BENCH_FILE,
             "engine",
             [(r, w) for r, w in entries if r.experiment == "engine-bench"],
+        ),
+        (
+            FLEET_BENCH_FILE,
+            "fleet",
+            [(r, w) for r, w in entries if r.experiment == "fleet-bench"],
         ),
     )
     written: List[Path] = []

@@ -52,16 +52,22 @@ class Cluster:
         n_storage: int,
         spec: Optional[PlatformSpec] = None,
         sim_config: Optional[SimConfig] = None,
+        env: Optional[Environment] = None,
     ) -> "Cluster":
         """Create a cluster with ``n_compute`` compute nodes (named
-        ``c0..``) and ``n_storage`` storage nodes (named ``s0..``)."""
+        ``c0..``) and ``n_storage`` storage nodes (named ``s0..``).
+
+        ``env`` lets several clusters share one simulation clock (the
+        fleet layer builds N cells on a single :class:`Environment`);
+        when omitted each cluster gets its own fresh environment.
+        """
         if n_compute < 0 or n_storage <= 0:
             raise SimulationError(
                 f"need >= 0 compute and >= 1 storage nodes, got {n_compute}/{n_storage}"
             )
         spec = spec or PlatformSpec()
         sim_config = sim_config or SimConfig()
-        env = Environment()
+        env = env if env is not None else Environment()
         monitors = MonitorHub(env, trace=sim_config.trace)
         cluster = cls(env, spec, sim_config, monitors)
         for i in range(n_compute):

@@ -124,6 +124,33 @@ CATALOG: Tuple[MetricSpec, ...] = (
           "Offloads refused because a strip holder was down"),
     _spec("faults.downtime_seconds", COUNTER, "seconds",
           "Summed outage durations of completed repairs"),
+    # -- fleet federation tier ------------------------------------------------
+    _spec("fleet.routed", COUNTER, "requests",
+          "Requests placed by the fleet router"),
+    _spec("fleet.routed.", COUNTER, "requests",
+          "Requests admitted per cell", family=True),
+    _spec("fleet.spillovers", COUNTER, "requests",
+          "Requests admitted off their primary cell"),
+    _spec("fleet.rejected", COUNTER, "requests",
+          "Requests shed fleet-wide (no cell had queue room)"),
+    _spec("fleet.probes", COUNTER, "events",
+          "Health-probe sweeps across the fleet"),
+    _spec("fleet.transitions", COUNTER, "events",
+          "Cell health flips observed by the prober"),
+    _spec("fleet.cells_healthy", GAUGE, "cells",
+          "Cells currently probed healthy"),
+    _spec("fleet.active_servers", GAUGE, "servers",
+          "Fleet-wide active storage-partition total"),
+    _spec("fleet.scale_grants", COUNTER, "events",
+          "Cell resizes granted by the budget arbiter"),
+    _spec("fleet.scale_denied", COUNTER, "events",
+          "Cell scale-ups denied by the server budget"),
+    _spec("fleet.longtail.requests", COUNTER, "requests",
+          "Aggregated long-tail requests drained"),
+    _spec("fleet.longtail.bytes", COUNTER, "bytes",
+          "Aggregated long-tail bytes drained"),
+    _spec("fleet.longtail.util.", GAUGE, "fraction",
+          "Long-tail link utilization per cell", family=True),
     # -- network fabric -------------------------------------------------------
     _spec("net.bytes_total", COUNTER, "bytes", "All bytes crossing the fabric"),
     _spec("net.loopback_bytes", COUNTER, "bytes",

@@ -184,6 +184,10 @@ class AutoscaleController:
         self.actions: List[AutoscaleAction] = []
         #: One dict per control tick: the controller's full observation.
         self.trace: List[Dict[str, float]] = []
+        #: Optional fleet-level veto: ``callable(controller, direction,
+        #: target) -> bool`` consulted before a resize commits (see
+        #: ``repro.fleet.FleetController``).  ``None`` approves all.
+        self.arbiter = None
         self._breach_streak = 0
         self._calm_streak = 0
         self._last_action_at = -float("inf")
@@ -263,7 +267,7 @@ class AutoscaleController:
             return
         if self._breach_streak >= policy.breach_ticks:
             target = min(policy.max_servers, self.active + policy.step)
-            if target > self.active:
+            if target > self.active and self._approved("up", target):
                 yield from self._resize(
                     target,
                     reason=(
@@ -274,7 +278,7 @@ class AutoscaleController:
             self._breach_streak = 0
         elif self._calm_streak >= policy.calm_ticks:
             target = max(policy.min_servers, self.active - policy.step)
-            if target < self.active:
+            if target < self.active and self._approved("down", target):
                 yield from self._resize(
                     target,
                     reason=(
@@ -283,6 +287,12 @@ class AutoscaleController:
                     ),
                 )
             self._calm_streak = 0
+
+    def _approved(self, direction: str, target: int) -> bool:
+        """Consult the fleet arbiter, when one is attached."""
+        if self.arbiter is None:
+            return True
+        return bool(self.arbiter(self, direction, target))
 
     # -- the resize itself -----------------------------------------------------
     def _resize(self, target: int, reason: str):

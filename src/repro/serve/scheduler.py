@@ -28,13 +28,23 @@ backend:
 The dispatcher applies backpressure by holding one concurrency slot per
 in-flight fan-out: queue depth builds (and admission sheds) exactly
 when the backend saturates.
+
+* **Sharded admission slots** (``slot_groups`` set): instead of one
+  global concurrency pool, each *group* (typically the primary storage
+  node or layout group of the request's file, chosen by the callable)
+  owns its own pool of ``concurrency`` slots.  A hot file saturating
+  its own node's slots no longer starves dispatches bound for other
+  nodes: a tenant whose head-of-line request is gated on a full pool
+  is skipped for the round instead of blocking the dispatcher.  The
+  default (``slot_groups=None``) keeps the original single-pool
+  dispatcher byte-for-byte, so existing event streams are unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError, ServeError
 from ..hw.cluster import Cluster
@@ -78,6 +88,7 @@ class FairScheduler:
         quantum: int = 256 * 1024,
         retry: Optional[RetryPolicy] = None,
         batch_max: int = 1,
+        slot_groups: Optional[Callable[[ServeRequest], str]] = None,
     ):
         if queue_capacity < 1 or concurrency < 1 or quantum < 1:
             raise ServeError("queue_capacity, concurrency and quantum must be >= 1")
@@ -101,7 +112,10 @@ class FairScheduler:
             t.name: deque() for t in tenants
         }
         self._deficit: Dict[str, float] = {t.name: 0.0 for t in tenants}
-        self._slots = Resource(self.env, capacity=int(concurrency))
+        self._concurrency = int(concurrency)
+        self._slot_groups = slot_groups
+        self._slots = Resource(self.env, capacity=self._concurrency)
+        self._group_slots: Dict[str, Resource] = {}
         self._kick = self.env.event()
         self._monitors = cluster.monitors
         self._depth_gauge = cluster.monitors.gauge("serve.queue.depth")
@@ -141,11 +155,37 @@ class FairScheduler:
     def backlog(self, tenant: str) -> int:
         return len(self.queues[tenant])
 
+    def queued_total(self) -> int:
+        """Admission backlog across every tenant queue."""
+        return sum(len(q) for q in self.queues.values())
+
+    def slots_in_use(self) -> int:
+        """In-flight fan-outs (load signal for cross-cell routing)."""
+        if self._slot_groups is None:
+            return len(self._slots.users)
+        return sum(len(p.users) for p in self._group_slots.values())
+
     # -- DWRR dispatcher --------------------------------------------------------
     def _backlogged(self):
         return [t for t, q in self.queues.items() if q]
 
+    def _slot_pool(self, req: ServeRequest) -> Resource:
+        """The admission-slot pool ``req`` dispatches through: the one
+        global pool by default, or the request's group pool (created on
+        first use, same per-group capacity) when sharding is on."""
+        if self._slot_groups is None:
+            return self._slots
+        key = self._slot_groups(req)
+        pool = self._group_slots.get(key)
+        if pool is None:
+            pool = Resource(self.env, capacity=self._concurrency)
+            self._group_slots[key] = pool
+        return pool
+
     def _dispatch_loop(self):
+        if self._slot_groups is not None:
+            yield from self._dispatch_loop_sharded()
+            return
         while True:
             if not any(self.queues.values()):
                 # Sleep until the next admission kicks us.
@@ -186,6 +226,58 @@ class FairScheduler:
                     # but batch-rider debt (negative deficit) survives, or a
                     # tenant could launder prepaid bytes by draining dry.
                     self._deficit[tenant] = min(0.0, self._deficit[tenant])
+
+    def _dispatch_loop_sharded(self):
+        """DWRR over per-group slot pools.  A tenant whose head-of-line
+        request is gated on a full pool is skipped for the round (its
+        deficit survives — the queue is non-empty) instead of blocking
+        the dispatcher, so a hot group cannot starve dispatches bound
+        for idle groups.  When every backlogged head is gated, sleep
+        until a slot frees or a new admission kicks."""
+        while True:
+            if not any(self.queues.values()):
+                self._kick = self.env.event()
+                yield self._kick
+            progressed = False
+            blocked = False
+            for tenant in self._backlogged():
+                queue = self.queues[tenant]
+                self._deficit[tenant] += self.quantum * self.weights[tenant]
+                while queue and queue[0].cost <= self._deficit[tenant]:
+                    pool = self._slot_pool(queue[0])
+                    if len(pool.users) >= pool.capacity:
+                        blocked = True
+                        break  # head-of-line within this tenant only
+                    slot = pool.request()
+                    yield slot  # granted synchronously: pool had room
+                    if not queue:
+                        slot.cancel()
+                        break
+                    req = queue.popleft()
+                    self._depth_gauge.adjust(-1)
+                    self._deficit[tenant] -= req.cost
+                    self._dequeued(req)
+                    if self.env.now > req.deadline:
+                        slot.cancel()
+                        self.board.settle(req, EXPIRED)
+                        continue
+                    batch = [req]
+                    if self.batch_max > 1:
+                        batch += self._drain_riders(req)
+                    self.batch_stats.dispatches += 1
+                    self.batch_stats.requests += len(batch)
+                    self.batch_stats.merged += len(batch) - 1
+                    for member in batch:
+                        self.dispatch_log.append((member.tenant, member.req_id))
+                    self.env.process(
+                        self._attempt(batch, slot), name=f"serve-req:{req.req_id}"
+                    )
+                    progressed = True
+                if not queue:
+                    self._deficit[tenant] = min(0.0, self._deficit[tenant])
+            if blocked and not progressed:
+                self._kick = self.env.event()
+                yield self._kick
 
     def _drain_riders(self, leader: ServeRequest) -> List[ServeRequest]:
         """Merge queued same-key requests into the leader's fan-out.
@@ -302,3 +394,6 @@ class FairScheduler:
                 return
         finally:
             slot.cancel()
+            if self._slot_groups is not None and not self._kick.triggered:
+                # Sharded dispatch may be asleep waiting for this slot.
+                self._kick.succeed()

@@ -1,0 +1,65 @@
+"""Shared fleet fixtures: small cells on one shared clock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import Cell
+from repro.harness.common import SERVE_SPEC, SERVE_STRIP, ingest_files
+from repro.harness.platform import ExperimentPlatform, build_platform
+from repro.serve import ServeConfig, ServeRequest, TenantSpec
+
+TENANTS = (
+    TenantSpec("alpha", rate=4.0, weight=2.0, kernels=("gaussian",), files=("dem_a",)),
+    TenantSpec("beta", rate=2.0, weight=1.0, kernels=("gaussian",), files=("dem_b",)),
+)
+
+
+def make_cell(
+    env,
+    name,
+    tenants=TENANTS,
+    queue_capacity=4,
+    concurrency=2,
+    duration=2.0,
+    files=("dem_a", "dem_b"),
+    faults=None,
+    recovery=None,
+    autoscale=None,
+    shard_slots=True,
+):
+    """One small serving cell (4 nodes) on the shared fleet clock."""
+    platform = ExperimentPlatform(spec=SERVE_SPEC, strip_size=SERVE_STRIP)
+    _, pfs = build_platform(4, platform, env=env)
+    rng = np.random.default_rng(platform.seed)
+    ingest_files(pfs, "DAS", rng, policy="replicated", names=files)
+    config = ServeConfig(
+        tenants=tenants,
+        scheme="DAS",
+        duration=duration,
+        deadline=1.0,
+        queue_capacity=queue_capacity,
+        concurrency=concurrency,
+        faults=faults,
+        recovery=recovery,
+        autoscale=autoscale,
+    )
+    return Cell(name, pfs, config, shard_slots=shard_slots)
+
+
+def make_request(req_id, tenant="alpha", file="dem_a", deadline=10.0):
+    return ServeRequest(
+        req_id=req_id,
+        tenant=tenant,
+        operator="gaussian",
+        file=file,
+        arrival=0.0,
+        deadline=deadline,
+        cost=0,
+    )
+
+
+@pytest.fixture
+def cell_pair(env):
+    return [make_cell(env, "cell-0"), make_cell(env, "cell-1")]

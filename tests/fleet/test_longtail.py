@@ -1,0 +1,141 @@
+"""Unit tests for fluid long-tail aggregation."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import LongtailAggregator, LongtailStream
+from repro.sim import MonitorHub
+
+CELLS = ("cell-0", "cell-1")
+
+
+def stream(name="bg", cell="cell-0", bpr=100, phases=((0.0, 10.0),)):
+    return LongtailStream(name, cell, bpr, phases)
+
+
+def make_agg(env, streams, capacity=1000.0, horizon=1.0):
+    return LongtailAggregator(
+        env, MonitorHub(env), streams, CELLS, capacity, horizon
+    )
+
+
+class TestValidation:
+    def test_nonpositive_bytes_per_request_rejected(self):
+        with pytest.raises(FleetError):
+            stream(bpr=0)
+
+    def test_empty_phase_track_rejected(self):
+        with pytest.raises(FleetError):
+            stream(phases=())
+
+    def test_unordered_phases_rejected(self):
+        with pytest.raises(FleetError):
+            stream(phases=((1.0, 5.0), (0.5, 2.0)))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(FleetError):
+            stream(phases=((0.0, -1.0),))
+
+    def test_unknown_cell_rejected(self, env):
+        with pytest.raises(FleetError):
+            make_agg(env, [stream(cell="elsewhere")])
+
+    def test_nonpositive_capacity_rejected(self, env):
+        with pytest.raises(FleetError):
+            make_agg(env, [stream()], capacity=0.0)
+
+    def test_nonpositive_horizon_rejected(self, env):
+        with pytest.raises(FleetError):
+            make_agg(env, [stream()], horizon=0.0)
+
+    def test_double_start_raises(self, env):
+        agg = make_agg(env, [stream()])
+        agg.start()
+        with pytest.raises(FleetError):
+            agg.start()
+
+
+class TestDraining:
+    def test_zero_rate_stream_offers_nothing(self, env):
+        agg = make_agg(env, [stream(phases=((0.0, 0.0),))])
+        agg.start()
+        env.run()
+        assert agg.offered_requests == 0
+        assert agg.conservation_ok()
+        assert agg.summary()["by_cell"] == {"cell-0": 0, "cell-1": 0}
+
+    def test_single_phase_drains_exactly_the_offer(self, env):
+        # 10 req/s for 1 s at 100 B each = 1000 B on a 1000 B/s link.
+        agg = make_agg(env, [stream()], capacity=1000.0, horizon=1.0)
+        agg.start()
+        env.run()
+        assert env.now == pytest.approx(1.0)
+        assert agg.offered_requests == agg.completed_requests == 10
+        assert agg.offered_bytes == agg.completed_bytes == 1000
+        assert agg.by_cell == {"cell-0": 10, "cell-1": 0}
+        assert agg.conservation_ok()
+        assert agg.monitors.counter("fleet.longtail.requests").value == 10
+        assert agg.monitors.counter("fleet.longtail.bytes").value == 1000
+
+    def test_overlapping_phases_share_the_link_max_min(self, env):
+        # Phase 0 offers 200 B at t=0 on a 100 B/s link; phase 1 offers
+        # another 100 B at t=1 while half of phase 0 is still in flight.
+        # From t=1 the two flows split the link 50/50, so both complete
+        # at t=3 — the overlap is exactly a mid-run rate mutation.
+        agg = make_agg(
+            env,
+            [stream(bpr=100, phases=((0.0, 2.0), (1.0, 1.0)))],
+            capacity=100.0,
+            horizon=2.0,
+        )
+        agg.start()
+        env.run()
+        assert env.now == pytest.approx(3.0)
+        assert agg.completed_requests == 3
+        assert agg.completed_bytes == 300
+        assert agg.conservation_ok()
+
+    def test_phases_truncate_at_the_horizon(self, env):
+        agg = make_agg(
+            env,
+            [stream(phases=((0.0, 4.0), (5.0, 100.0)))],
+            horizon=1.0,
+        )
+        agg.start()
+        env.run()
+        assert agg.offered_requests == 4  # the t=5 phase never starts
+        assert agg.conservation_ok()
+
+    def test_streams_account_to_their_own_cells(self, env):
+        agg = make_agg(
+            env,
+            [
+                stream(name="bg-0", cell="cell-0", phases=((0.0, 8.0),)),
+                stream(name="bg-1", cell="cell-1", phases=((0.0, 2.0),)),
+            ],
+        )
+        agg.start()
+        env.run()
+        assert agg.by_cell == {"cell-0": 8, "cell-1": 2}
+        assert agg.conservation_ok()
+
+
+class TestUtilization:
+    def test_utilization_tracks_the_drain(self, env):
+        # 2000 B on a 1000 B/s link: busy until t=2, idle after.
+        agg = make_agg(
+            env, [stream(bpr=200, phases=((0.0, 10.0),))], capacity=1000.0
+        )
+        seen = {}
+
+        def probe():
+            yield env.timeout(1.0)
+            seen["mid"] = agg.utilization("cell-0")
+            seen["other"] = agg.utilization("cell-1")
+
+        agg.start()
+        env.process(probe())
+        env.run()
+        assert seen["mid"] == pytest.approx(1.0)
+        assert seen["other"] == pytest.approx(0.0)
+        assert agg.utilization("cell-0") == pytest.approx(0.0)

@@ -1,0 +1,92 @@
+"""Integration tests for the full federated fleet run."""
+
+import json
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import FleetSystem, LongtailStream
+from repro.sim import Environment
+
+from .conftest import TENANTS, make_cell
+
+KiB = 1024
+
+
+def build_fleet(env, cells=None, **kw):
+    if cells is None:
+        cells = [make_cell(env, "cell-0"), make_cell(env, "cell-1")]
+    defaults = dict(duration=2.0, deadline=1.0, policy="least-loaded")
+    defaults.update(kw)
+    return FleetSystem(env, cells, TENANTS, **defaults)
+
+
+def build_and_run(env):
+    fleet = build_fleet(
+        env,
+        longtail=(
+            LongtailStream("bg", "cell-0", KiB, ((0.0, 20.0), (1.0, 0.0))),
+        ),
+        longtail_capacity=64 * KiB,
+    )
+    return fleet.run(), fleet
+
+
+class TestValidation:
+    def test_no_cells_rejected(self, env):
+        with pytest.raises(FleetError):
+            FleetSystem(env, [], TENANTS, duration=1.0, deadline=1.0)
+
+    def test_no_tenants_rejected(self, env, cell_pair):
+        with pytest.raises(FleetError):
+            FleetSystem(env, cell_pair, (), duration=1.0, deadline=1.0)
+
+    def test_cell_on_a_different_clock_rejected(self, env):
+        stray = make_cell(Environment(), "stray")
+        cells = [make_cell(env, "cell-0"), stray]
+        with pytest.raises(FleetError):
+            build_fleet(env, cells=cells)
+
+    def test_cell_missing_a_tenant_queue_rejected(self, env):
+        partial = make_cell(env, "partial", tenants=TENANTS[:1])
+        cells = [make_cell(env, "cell-0"), partial]
+        with pytest.raises(FleetError):
+            build_fleet(env, cells=cells)
+
+    def test_runs_exactly_once(self, env):
+        fleet = build_fleet(env)
+        fleet.run()
+        with pytest.raises(FleetError):
+            fleet.run()
+
+
+class TestRun:
+    def test_conservation_and_consistency(self, env):
+        summary, fleet = build_and_run(env)
+        assert summary["generated"] > 0
+        assert summary["routed"] == summary["generated"]
+        assert summary["admitted"] + summary["rejected"] == summary["generated"]
+        assert summary["settled"] == summary["admitted"]
+        assert summary["digest_consistency"]["consistent"]
+        assert summary["health"]["healthy_final"] == 2
+        assert summary["longtail"]["conservation_ok"]
+        assert sum(summary["placements"].values()) == summary["generated"]
+        assert fleet.router.placements.keys() == fleet.router.requests.keys()
+
+    def test_summary_is_json_serialisable(self, env):
+        summary, _ = build_and_run(env)
+        assert json.loads(json.dumps(summary)) == json.loads(json.dumps(summary))
+
+    def test_identical_builds_replay_bit_identically(self, env):
+        first, _ = build_and_run(env)
+        second, _ = build_and_run(Environment())
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_result_digest_covers_every_executed_request(self, env):
+        summary, fleet = build_and_run(env)
+        per_cell = sum(
+            len(cell.executor.digests) for cell in fleet.cells
+        )
+        assert summary["result_digest"]["count"] == per_cell

@@ -1,0 +1,143 @@
+"""Edge cases for the fluid engine's lazy settle hook.
+
+The long-tail aggregator (`repro.fleet.longtail`) leans on three
+properties of the deferred-settle design: a burst of same-instant flow
+starts pays for one progressive-filling pass, rate mutations landing on
+identical timestamps integrate correctly, and reads through
+``link_utilization`` settle deferred rates without perturbing the
+event stream.  This suite pins each one down.
+"""
+
+import pytest
+
+from repro.net.fluid import FluidScheduler
+
+
+@pytest.fixture
+def sched(env):
+    s = FluidScheduler(env)
+    s.add_link("l0", 100.0)  # 100 bytes/sec
+    s.add_link("l1", 100.0)
+    s.add_link("l2", 100.0)
+    return s
+
+
+def count_recomputes(monkeypatch, sched):
+    calls = {"n": 0}
+    original = sched._recompute
+
+    def counting():
+        calls["n"] += 1
+        original()
+
+    monkeypatch.setattr(sched, "_recompute", counting)
+    return calls
+
+
+class TestSameInstantBurst:
+    def test_burst_of_starts_pays_one_filling_pass(self, env, sched, monkeypatch):
+        calls = count_recomputes(monkeypatch, sched)
+        events = [sched.start(("l0",), 100.0) for _ in range(5)]
+        env.run()
+        # Five same-instant starts settle once when the clock first
+        # moves; the simultaneous five-way completion empties the flow
+        # set, so no second pass ever runs.
+        assert calls["n"] == 1
+        assert env.now == pytest.approx(5.0)  # 5 x 100 B sharing 100 B/s
+        assert all(e.triggered for e in events)
+        assert sched.active_flows == 0
+
+    def test_same_instant_completions_fire_in_insertion_order(self, env, sched):
+        fired = []
+        for i, link in enumerate(("l0", "l1", "l2")):
+            done = sched.start((link,), 100.0)
+            done.callbacks.append(lambda _e, i=i: fired.append(i))
+        env.run()
+        # Three equal flows on disjoint links finish at the same
+        # instant; the drain scan walks the insertion-ordered flow
+        # dict, so completion events fire in start order.
+        assert env.now == pytest.approx(1.0)
+        assert fired == [0, 1, 2]
+
+
+class TestIdenticalTimestampMutation:
+    def test_mid_run_rate_mutation_at_one_timestamp(self, env, sched, monkeypatch):
+        calls = count_recomputes(monkeypatch, sched)
+        finishes = {}
+
+        def record(name):
+            return lambda _e: finishes.setdefault(name, env.now)
+
+        first = sched.start(("l0",), 200.0)
+        first.callbacks.append(record("first"))
+
+        def late_burst():
+            yield env.timeout(1.0)
+            for name in ("second", "third"):
+                done = sched.start(("l0",), 100.0)
+                done.callbacks.append(record(name))
+
+        env.process(late_burst())
+        env.run()
+        # t=0..1: the first flow drains alone at 100 B/s (100 B left).
+        # At t=1 two more flows land on the same timestamp; one settle
+        # integrates the drain-so-far and splits the link three ways
+        # (33.3 B/s each), so every flow completes together at t=4.
+        assert calls["n"] == 2  # t=0 burst + t=1 mutation, one pass each
+        assert finishes == {
+            "first": pytest.approx(4.0),
+            "second": pytest.approx(4.0),
+            "third": pytest.approx(4.0),
+        }
+        assert sched.active_flows == 0
+
+    def test_completion_and_arrival_on_one_timestamp(self, env, sched):
+        finishes = {}
+
+        def record(name):
+            return lambda _e: finishes.setdefault(name, env.now)
+
+        sched.start(("l0",), 100.0).callbacks.append(record("old"))
+
+        def arrive_at_the_finish_line():
+            yield env.timeout(1.0)  # exactly when the first flow drains
+            sched.start(("l0",), 100.0).callbacks.append(record("new"))
+
+        env.process(arrive_at_the_finish_line())
+        env.run()
+        # The new flow must see the full link (the old one left at the
+        # same instant), not inherit a half-shared rate.
+        assert finishes["old"] == pytest.approx(1.0)
+        assert finishes["new"] == pytest.approx(2.0)
+
+
+class TestSettleOnRead:
+    def test_link_utilization_settles_deferred_rates(self, env, sched):
+        done = sched.start(("l0",), 150.0)
+        # No simulated time has passed since the start: rates are still
+        # deferred, and the read itself must settle them.
+        assert sched._dirty
+        assert sched.link_utilization("l0") == pytest.approx(1.0)
+        assert not sched._dirty
+        assert sched.link_utilization("l1") == pytest.approx(0.0)
+        env.run()
+        assert done.triggered
+        assert env.now == pytest.approx(1.5)  # the read did not perturb
+        assert sched.link_utilization("l0") == pytest.approx(0.0)
+
+    def test_mid_run_read_matches_fair_share(self, env, sched):
+        sched.start(("l0", "l1"), 300.0)
+        seen = {}
+
+        def probe():
+            yield env.timeout(0.5)
+            sched.start(("l0",), 100.0)
+            # Same-instant start: the read below settles it, so both
+            # flows on l0 already run at their new 50 B/s fair share.
+            seen["l0"] = sched.link_utilization("l0")
+            seen["l1"] = sched.link_utilization("l1")
+
+        env.process(probe())
+        env.run()
+        assert seen["l0"] == pytest.approx(1.0)
+        assert seen["l1"] == pytest.approx(0.5)  # the crossing flow's 50 B/s
