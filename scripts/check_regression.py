@@ -31,6 +31,13 @@ simulator changed behind the baselines' back), and with
 drop more than the given fraction below the recorded run (a
 same-host-only gate, like ``--wall-tolerance``).
 
+A **newly added bench** — a candidate file with no committed baseline
+and no ledger yet — is not an error when ``--history-dir`` is given:
+the baseline diff is skipped (there is nothing to diff against), the
+run seeds the bench's ledger as its first recorded entry, and the file
+passes.  The next run then has a reference.  Without ``--history-dir``
+a missing baseline stays a hard failure, as before.
+
 Usage::
 
     PYTHONPATH=src python -m repro.harness all --bench-dir /tmp/bench
@@ -238,6 +245,12 @@ def main(argv=None) -> int:
             for p in baseline_dir.glob("BENCH_*.json")
             if (candidate_dir / p.name).exists()
         )
+        if args.history_dir is not None:
+            # With a ledger, candidate-only files are newly added benches
+            # to seed, not strays to ignore.
+            names = sorted(
+                set(names) | {p.name for p in candidate_dir.glob("BENCH_*.json")}
+            )
     if not names:
         print(
             f"no BENCH_*.json files to compare between {baseline_dir}/"
@@ -250,15 +263,27 @@ def main(argv=None) -> int:
     for name in names:
         base_path = baseline_dir / name
         cand_path = candidate_dir / name
-        missing = [str(p) for p in (base_path, cand_path) if not p.exists()]
+        new_bench = not base_path.exists() and args.history_dir is not None
+        missing = [
+            str(p)
+            for p in (base_path, cand_path)
+            if not p.exists() and not (new_bench and p is base_path)
+        ]
         if missing:
             print(f"FAIL {name}: missing {', '.join(missing)}")
             failed += 1
             continue
-        print(f"checking {name} ...")
-        failures = check_file(
-            base_path, cand_path, args.wall_tolerance, not args.no_wall
-        )
+        if new_bench:
+            print(
+                f"checking {name} ... no committed baseline — newly added"
+                " bench, seeding its history ledger"
+            )
+            failures = []
+        else:
+            print(f"checking {name} ...")
+            failures = check_file(
+                base_path, cand_path, args.wall_tolerance, not args.no_wall
+            )
         if args.history_dir is not None:
             failures += history_gate(
                 Path(args.history_dir),

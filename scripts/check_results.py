@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Results drift gate: docs/RESULTS.md must regenerate byte-for-byte.
+
+docs/RESULTS.md is a generated document — per-bench result tables,
+run-over-run trend tables, critical-path flames and the paper-claims
+mapping, all rendered from the committed measurement record
+(``benchmarks/``, ``benchmarks/history/``, ``benchmarks/attribution/``)
+by ``repro.report``.  It is never hand-edited; this script enforces
+that by regenerating it in memory and requiring the result to equal
+the committed file **byte for byte**.  Any drift — a bench payload
+regenerated without the report, a hand edit, an emitter change — fails
+with a unified diff.
+
+CI runs this as the ``results-smoke`` job on every push.  To fix a
+legitimate drift, regenerate and commit::
+
+    PYTHONPATH=src python -m repro.harness report
+    python scripts/check_results.py            # now passes
+
+The emitter is deterministic (no timestamps or generating-host walls
+in the output; volatile fields render as ranges over the committed
+ledger), so byte-exactness is achievable and the gate is exact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        default=str(REPO / "docs" / "RESULTS.md"),
+        metavar="PATH",
+        help="the committed report to check (default: docs/RESULTS.md)",
+    )
+    parser.add_argument(
+        "--benchmarks-dir",
+        default=str(REPO / "benchmarks"),
+        metavar="DIR",
+        help="committed BENCH_*.json snapshots (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--history-dir",
+        default=str(REPO / "benchmarks" / "history"),
+        metavar="DIR",
+        help="committed JSONL ledger (default: benchmarks/history/)",
+    )
+    parser.add_argument(
+        "--attribution-dir",
+        default=str(REPO / "benchmarks" / "attribution"),
+        metavar="DIR",
+        help=(
+            "committed critical-path fixtures"
+            " (default: benchmarks/attribution/)"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the regenerated report instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.harness.report import drift_diff
+    from repro.report import generate_results
+
+    text = generate_results(
+        bench_dir=args.benchmarks_dir,
+        history_dir=args.history_dir,
+        attribution_dir=args.attribution_dir,
+    )
+    results = Path(args.results)
+    if args.update:
+        results.write_text(text, encoding="utf-8")
+        print(f"wrote {results} ({len(text.splitlines())} lines)")
+        return 0
+    if not results.exists():
+        print(
+            f"FAIL: {results} is missing — generate it with"
+            " 'PYTHONPATH=src python -m repro.harness report'",
+            file=sys.stderr,
+        )
+        return 1
+    committed = results.read_text(encoding="utf-8")
+    if committed != text:
+        print(
+            f"FAIL: {results} drifted from the committed inputs —"
+            " regenerate it (PYTHONPATH=src python -m repro.harness"
+            " report) and commit the result:",
+            file=sys.stderr,
+        )
+        for line in drift_diff(committed, text, str(results)):
+            print(line, file=sys.stderr)
+        return 1
+    print(
+        f"{results.name} matches the committed benchmarks/, history and"
+        " attribution inputs byte for byte"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,8 @@ Quickstart::
     result = cluster.run(until=scheme.run_operation("flow-routing", "dem", "dirs"))
 """
 
-from . import config, core, errors, harness, hw, kernels, metrics, net, pfs, schemes
-from . import sim, units, workloads
+from . import config, core, errors, harness, hw, kernels, metrics, net, pfs
+from . import report, schemes, sim, units, workloads
 
 __version__ = "1.0.0"
 
@@ -37,6 +37,7 @@ __all__ = [
     "metrics",
     "net",
     "pfs",
+    "report",
     "schemes",
     "sim",
     "units",

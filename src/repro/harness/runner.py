@@ -26,6 +26,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="das-harness",
         description="Regenerate the DAS paper's tables and figures in simulation.",
+        epilog=(
+            "Additional subcommand: 'report' regenerates docs/RESULTS.md"
+            " from the committed bench record (its own flags:"
+            " das-harness report --help)."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -66,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        # The results-report subcommand has its own argparse surface
+        # (different flags, no simulation); dispatch before parsing.
+        from .report import main as report_main
+
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0

@@ -44,6 +44,21 @@ PAPER_EXPERIMENTS = (
     "ext-oversub",
 )
 
+#: Canonical ``(filename, bench family)`` order of the whole trajectory
+#: directory.  Consumers that sweep ``benchmarks/`` — the report
+#: generator (:mod:`repro.report`), the regression gate — iterate this
+#: tuple so their output order is pinned by the writer, not by
+#: directory listing or insertion accidents.
+BENCH_FILES = (
+    (SERVE_BENCH_FILE, "serve"),
+    (PAPER_BENCH_FILE, "paper"),
+    (FAULTS_BENCH_FILE, "faults"),
+    (AUTOSCALE_BENCH_FILE, "autoscale"),
+    (SCENARIOS_BENCH_FILE, "scenarios"),
+    (ENGINE_BENCH_FILE, "engine"),
+    (FLEET_BENCH_FILE, "fleet"),
+)
+
 #: Bump when the payload shape changes incompatibly.
 SCHEMA_VERSION = 1
 
@@ -112,45 +127,18 @@ def write_trajectory(
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     entries = list(entries)
-    groups = (
-        (
-            SERVE_BENCH_FILE,
-            "serve",
-            [(r, w) for r, w in entries if r.experiment == "serve-bench"],
-        ),
-        (
-            PAPER_BENCH_FILE,
-            "paper",
-            [(r, w) for r, w in entries if r.experiment in PAPER_EXPERIMENTS],
-        ),
-        (
-            FAULTS_BENCH_FILE,
-            "faults",
-            [(r, w) for r, w in entries if r.experiment == "chaos-bench"],
-        ),
-        (
-            AUTOSCALE_BENCH_FILE,
-            "autoscale",
-            [(r, w) for r, w in entries if r.experiment == "autoscale-bench"],
-        ),
-        (
-            SCENARIOS_BENCH_FILE,
-            "scenarios",
-            [(r, w) for r, w in entries if r.experiment == "scenario-bench"],
-        ),
-        (
-            ENGINE_BENCH_FILE,
-            "engine",
-            [(r, w) for r, w in entries if r.experiment == "engine-bench"],
-        ),
-        (
-            FLEET_BENCH_FILE,
-            "fleet",
-            [(r, w) for r, w in entries if r.experiment == "fleet-bench"],
-        ),
-    )
+    selectors = {
+        "serve": lambda r: r.experiment == "serve-bench",
+        "paper": lambda r: r.experiment in PAPER_EXPERIMENTS,
+        "faults": lambda r: r.experiment == "chaos-bench",
+        "autoscale": lambda r: r.experiment == "autoscale-bench",
+        "scenarios": lambda r: r.experiment == "scenario-bench",
+        "engine": lambda r: r.experiment == "engine-bench",
+        "fleet": lambda r: r.experiment == "fleet-bench",
+    }
     written: List[Path] = []
-    for filename, bench, group in groups:
+    for filename, bench in BENCH_FILES:
+        group = [(r, w) for r, w in entries if selectors[bench](r)]
         if not group:
             continue
         path = out_dir / filename

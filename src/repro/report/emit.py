@@ -1,0 +1,290 @@
+"""The docs/RESULTS.md emitter.
+
+One pure function from the committed inputs (bench snapshots, history
+ledgers, attribution fixtures) to the full markdown document.  Nothing
+volatile enters the output: the generating run's clock, host and wall
+times never appear; wall-clock figures are only ever shown as ranges
+over the committed history ledger, and the exactly-reproducible fields
+(rows, check verdicts, event counts) are printed as-is.  Regenerating
+from the same tree therefore reproduces the committed file byte for
+byte — the contract `scripts/check_results.py` enforces in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .flame import render_flame
+from .loaders import (
+    AttributionFixture,
+    BenchSnapshot,
+    load_attributions,
+    load_benchmarks,
+    load_history,
+)
+from .tables import ledger_range, markdown_table, rows_table
+
+__all__ = ["generate_results"]
+
+PASS = "✓"
+FAIL = "✗"
+
+#: Where each paper experiment's constructs are mapped to code
+#: (docs/PAPER_MAP.md anchors) and what it reproduces from the paper.
+PAPER_CLAIM_MAP = (
+    ("table1", "Table I — kernel descriptions", "PAPER_MAP.md#section-iv-evaluation"),
+    ("fig10", "Fig. 10 — dependence impact, NAS vs TS",
+     "PAPER_MAP.md#section-iv-evaluation"),
+    ("fig11", "Fig. 11 — NAS / DAS / TS at 24 GB",
+     "PAPER_MAP.md#section-iv-evaluation"),
+    ("fig12", "Fig. 12 — scaling with data size",
+     "PAPER_MAP.md#section-iv-evaluation"),
+    ("fig13", "Fig. 13 — scaling with node count",
+     "PAPER_MAP.md#section-iv-evaluation"),
+    ("fig14", "Fig. 14 — normalized sustained bandwidth",
+     "PAPER_MAP.md#section-iv-evaluation"),
+    ("ext-oversub", "Conclusion extensions — oversubscribed bisection",
+     "PAPER_MAP.md#section-v-conclusion--future-work"),
+)
+
+_HEADER = """\
+# Results
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate:  PYTHONPATH=src python -m repro.harness report
+     Drift gate:  python scripts/check_results.py  (CI job: results-smoke) -->
+
+The measured state of the repository, rendered from its committed
+measurement record and nothing else: the [`benchmarks/`](../benchmarks)
+`BENCH_*.json` snapshots (payload schema: [BENCHMARKS.md](BENCHMARKS.md)),
+the append-only [`benchmarks/history/`](../benchmarks/history) ledger the
+regression gate keeps, and the committed critical-path attribution
+fixtures under [`benchmarks/attribution/`](../benchmarks/attribution).
+Simulated quantities (rows, check verdicts, event counts) are exactly
+reproducible and printed as-is; host-dependent quantities (wall clocks,
+events/wall-second) appear only as ranges over the recorded history.
+"""
+
+
+def _check_line(exp: dict) -> str:
+    checks = exp.get("checks", [])
+    passed = sum(1 for c in checks if c.get("passed"))
+    total = len(checks)
+    if not total:
+        return "*(no shape checks recorded)*"
+    if passed == total:
+        return f"{PASS} **{passed}/{total}** shape checks pass"
+    failing = "; ".join(
+        c.get("claim", "?") for c in checks if not c.get("passed")
+    )
+    return f"{FAIL} **{passed}/{total}** shape checks pass — failing: {failing}"
+
+
+def _overview(
+    snapshots: Sequence[BenchSnapshot], ledgers: Dict[str, List[dict]]
+) -> List[str]:
+    lines = ["## Snapshot overview", ""]
+    rows = []
+    for snap in snapshots:
+        passed, total = snap.check_counts()
+        ledger = ledgers.get(snap.filename.rsplit(".", 1)[0], [])
+        rows.append(
+            [
+                f"`{snap.filename}`",
+                snap.bench,
+                snap.scale_kb,
+                len(snap.experiments),
+                f"{PASS} {passed}/{total}" if passed == total
+                else f"{FAIL} {passed}/{total}",
+                snap.events_dispatched_total,
+                ledger_range(ledger, "wall_seconds_total") or "—",
+            ]
+        )
+    lines += markdown_table(
+        [
+            "snapshot",
+            "family",
+            "scale_kb",
+            "experiments",
+            "checks",
+            "events dispatched",
+            "wall s (recorded range)",
+        ],
+        rows,
+    )
+    lines += [
+        "",
+        "`events dispatched` is the exactly-reproducible engine-event",
+        "count — any drift is a behaviour change, not noise.  The wall",
+        "range spans every run the",
+        "[history ledger](BENCHMARKS.md#the-history-ledger) has recorded",
+        "and is host-dependent.",
+    ]
+    return lines
+
+
+def _bench_sections(snapshots: Sequence[BenchSnapshot]) -> List[str]:
+    lines: List[str] = []
+    for snap in snapshots:
+        lines += ["", f"## {snap.bench} (`{snap.filename}`)", ""]
+        many = len(snap.experiments) > 1
+        for name, exp in snap.experiments.items():
+            if many:
+                lines += [f"### {name}", ""]
+            title = exp.get("title", "")
+            if title:
+                lines += [f"*{title}*", ""]
+            lines.append(
+                f"{_check_line(exp)}"
+                f" · events dispatched: {exp.get('events_dispatched', 0)}"
+            )
+            notes = exp.get("notes")
+            if notes:
+                lines += ["", f"Notes: {notes}"]
+            lines.append("")
+            lines += rows_table(exp.get("rows", []))
+            lines.append("")
+    return lines
+
+
+def _trend_section(
+    snapshots: Sequence[BenchSnapshot], ledgers: Dict[str, List[dict]]
+) -> List[str]:
+    lines = [
+        "",
+        "## Run-over-run trends",
+        "",
+        "One row per run recorded by",
+        "[`scripts/check_regression.py --history-dir`](BENCHMARKS.md#the-history-ledger)",
+        "(append order; a new entry lands on every gated regeneration,",
+        "so the trajectory grows PR over PR).  `events dispatched` must",
+        "be identical between passing runs at the same scale; the wall",
+        "and throughput columns are host-dependent context, not gates.",
+    ]
+    for snap in snapshots:
+        entries = ledgers.get(snap.filename.rsplit(".", 1)[0])
+        if not entries:
+            continue
+        lines += ["", f"### {snap.bench} trajectory", ""]
+        lines += markdown_table(
+            [
+                "run",
+                "scale_kb",
+                "events dispatched",
+                "wall s",
+                "events / wall s",
+                "verdict",
+            ],
+            [
+                [
+                    i,
+                    e.get("scale_kb"),
+                    e.get("events_dispatched_total"),
+                    e.get("wall_seconds_total"),
+                    e.get("events_per_wall_second"),
+                    PASS if e.get("checks_pass") else FAIL,
+                ]
+                for i, e in enumerate(entries, 1)
+            ],
+        )
+    return lines
+
+
+def _flame_section(fixtures: Sequence[AttributionFixture]) -> List[str]:
+    if not fixtures:
+        return []
+    lines = [
+        "",
+        "## Where the latency goes (critical path)",
+        "",
+        "Committed critical-path attributions from traced bench cells",
+        "(`--trace-dir`), rendered by the text flame renderer",
+        "(`repro.report.flame`; method and schema:",
+        "[OBSERVABILITY.md](OBSERVABILITY.md#the-text-flame-renderer-and-the-attribution-file)).",
+        "Each request class's bar is its mean latency partitioned into",
+        "per-stage segments by the deepest-span rule, so segment widths",
+        "are shares of measured latency — not estimates.",
+    ]
+    for fixture in fixtures:
+        lines += ["", "```text"]
+        lines += render_flame(fixture.report, fixture.label)
+        lines += ["```"]
+    return lines
+
+
+def _paper_section(snapshots: Sequence[BenchSnapshot]) -> List[str]:
+    paper = next((s for s in snapshots if s.bench == "paper"), None)
+    if paper is None:
+        return []
+    lines = [
+        "",
+        "## Paper claims",
+        "",
+        "Every quantitative claim reproduced from Chen & Chen (ICPP 2012;",
+        "abstract in [PAPER.md](../PAPER.md)), with the measured verdict",
+        "from `BENCH_paper.json` and the construct-to-code mapping in",
+        "[PAPER_MAP.md](PAPER_MAP.md).  A failing verdict here means the",
+        "committed snapshot no longer supports the paper's claim.",
+        "",
+    ]
+    known = {name for name, _, _ in PAPER_CLAIM_MAP}
+    entries = [
+        (name, what, anchor)
+        for name, what, anchor in PAPER_CLAIM_MAP
+        if name in paper.experiments
+    ] + [
+        (name, paper.experiments[name].get("title", name),
+         "PAPER_MAP.md#section-iv-evaluation")
+        for name in paper.experiments
+        if name not in known
+    ]
+    rows = []
+    for name, what, anchor in entries:
+        exp = paper.experiments[name]
+        checks = exp.get("checks", [])
+        passed = sum(1 for c in checks if c.get("passed"))
+        rows.append(
+            [
+                f"`{name}`",
+                what,
+                f"[map]({anchor})",
+                f"{PASS} {passed}/{len(checks)}"
+                if passed == len(checks)
+                else f"{FAIL} {passed}/{len(checks)}",
+            ]
+        )
+    lines += markdown_table(
+        ["experiment", "paper figure / table", "paper-to-code", "claims"], rows
+    )
+    for name, what, anchor in entries:
+        exp = paper.experiments[name]
+        lines += ["", f"### {name} claims", ""]
+        for check in exp.get("checks", []):
+            mark = PASS if check.get("passed") else FAIL
+            lines.append(f"- {mark} {check.get('claim', '?')}")
+    return lines
+
+
+def generate_results(
+    bench_dir="benchmarks",
+    history_dir="benchmarks/history",
+    attribution_dir="benchmarks/attribution",
+    snapshots: Optional[Sequence[BenchSnapshot]] = None,
+) -> str:
+    """The complete docs/RESULTS.md text for one committed input set.
+
+    ``snapshots`` overrides the directory scan (the tests inject
+    fixture payloads directly); the history and attribution directories
+    may be absent, in which case their sections render empty/omitted.
+    """
+    if snapshots is None:
+        snapshots = load_benchmarks(bench_dir)
+    ledgers = load_history(history_dir)
+    fixtures = load_attributions(attribution_dir)
+    lines: List[str] = [_HEADER]
+    lines += _overview(snapshots, ledgers)
+    lines += _bench_sections(snapshots)
+    lines += _trend_section(snapshots, ledgers)
+    lines += _flame_section(fixtures)
+    lines += _paper_section(snapshots)
+    return "\n".join(lines).rstrip("\n") + "\n"

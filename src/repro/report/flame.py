@@ -1,0 +1,201 @@
+"""Plain-text flame rendering for critical-path attribution reports.
+
+Input is the attribution document a ``--trace-dir`` bench run writes
+(`<label>.attribution.json`,
+:meth:`repro.metrics.critical_path.CriticalPathReport.as_dict`): an
+aggregate per-stage table plus one decomposed row per traced request.
+Output is committed markdown, so the renderer is deterministic down to
+the rounding rule.
+
+Two visual forms:
+
+* :func:`share_bar` — one stage per line, a bar proportional to that
+  stage's share of total latency (the aggregate stage table).
+* :func:`partition_bar` — one *request class* per line, a single
+  fixed-width bar partitioned into stage segments by glyph, so the bar
+  **is** the request's latency cut the way the critical-path sweep cut
+  it.  Segment widths use largest-remainder apportionment: floor every
+  stage's exact width, then hand the leftover cells to the largest
+  fractional remainders (ties: stage order), so the glyph counts always
+  sum to exactly the bar width.
+
+Request classes group the per-request rows by ``(tenant, outcome)`` —
+the classes the SLO board accounts — with per-class mean latency and
+coverage rendered inline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..metrics.critical_path import STAGES
+
+__all__ = [
+    "STAGE_GLYPHS",
+    "partition_bar",
+    "render_flame",
+    "request_classes",
+    "share_bar",
+]
+
+#: Bar width (characters) of the per-class partition bars.
+BAR_WIDTH = 48
+
+#: Width of the aggregate share bars.
+SHARE_WIDTH = 32
+
+#: One glyph per stage for the partitioned bars.  ``rpc`` is uppercase
+#: to keep it distinct from ``read``/``redistribute``; the unattributed
+#: remainder renders as ``.`` so instrumentation gaps look like gaps.
+STAGE_GLYPHS = {
+    "queue": "q",
+    "attempt": "a",
+    "backoff": "b",
+    "fence": "f",
+    "redistribute": "d",
+    "normal": "n",
+    "read": "r",
+    "compute": "c",
+    "offload": "o",
+    "rpc": "R",
+    "unattributed": ".",
+}
+
+
+def _glyph(stage: str) -> str:
+    return STAGE_GLYPHS.get(stage, "?")
+
+
+def share_bar(fraction: float, width: int = SHARE_WIDTH) -> str:
+    """``#`` cells for a 0..1 fraction: round half up, but never render
+    a nonzero share as an empty bar (a 0.1% stage still shows one cell)."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = int(fraction * width + 0.5)
+    if fraction > 0.0 and cells == 0:
+        cells = 1
+    return "#" * cells
+
+
+def partition_bar(
+    stage_seconds: Sequence[Tuple[str, float]], width: int = BAR_WIDTH
+) -> str:
+    """One fixed-width bar partitioned into per-stage glyph segments.
+
+    ``stage_seconds`` is ``(stage, seconds)`` in render order; zero and
+    negative contributions get no cells.  Largest-remainder rounding
+    keeps ``len(result) == width`` whenever any stage is positive.
+    """
+    positive = [(stage, s) for stage, s in stage_seconds if s > 0.0]
+    total = sum(s for _, s in positive)
+    if total <= 0.0 or width <= 0:
+        return ""
+    exact = [(stage, s / total * width) for stage, s in positive]
+    cells = [int(e) for _, e in exact]
+    leftover = width - sum(cells)
+    remainders = sorted(
+        range(len(exact)),
+        key=lambda i: (-(exact[i][1] - cells[i]), i),
+    )
+    for i in remainders[:leftover]:
+        cells[i] += 1
+    return "".join(_glyph(stage) * n for (stage, _), n in zip(exact, cells))
+
+
+def _stage_order(present: Sequence[str]) -> List[str]:
+    """Canonical stage order first, unknown stages after, name order."""
+    known = [s for s in STAGES if s in present]
+    return known + sorted(set(present) - set(STAGES))
+
+
+def request_classes(per_request: Sequence[Dict]) -> List[dict]:
+    """Aggregate per-request rows into ``(tenant, outcome)`` classes.
+
+    Each class carries the request count, mean latency, mean coverage,
+    and summed per-stage seconds (from the rows' ``<stage>_s`` keys).
+    Deterministic order: tenant, then outcome.
+    """
+    grouped: Dict[Tuple[str, str], dict] = {}
+    for row in per_request:
+        key = (str(row.get("tenant", "?")), str(row.get("outcome", "?")))
+        bucket = grouped.setdefault(
+            key,
+            {
+                "tenant": key[0],
+                "outcome": key[1],
+                "count": 0,
+                "latency_s": 0.0,
+                "coverage": 0.0,
+                "stages": {},
+            },
+        )
+        bucket["count"] += 1
+        bucket["latency_s"] += float(row.get("latency_s", 0.0))
+        bucket["coverage"] += float(row.get("coverage", 0.0))
+        for field, value in row.items():
+            if field.endswith("_s") and field != "latency_s":
+                stage = field[: -len("_s")]
+                bucket["stages"][stage] = bucket["stages"].get(stage, 0.0) + float(
+                    value
+                )
+    classes = []
+    for key in sorted(grouped):
+        bucket = grouped[key]
+        n = bucket["count"]
+        classes.append(
+            {
+                "tenant": bucket["tenant"],
+                "outcome": bucket["outcome"],
+                "count": n,
+                "mean_latency_s": bucket["latency_s"] / n,
+                "mean_coverage": bucket["coverage"] / n,
+                "stages": bucket["stages"],
+            }
+        )
+    return classes
+
+
+def render_flame(report: Dict, label: str, width: int = BAR_WIDTH) -> List[str]:
+    """The full plain-text flame for one attribution document.
+
+    Header line with the sample size and the two acceptance figures
+    (min span coverage, max attribution error), the aggregate stage
+    table with share bars, a glyph legend, and one partitioned latency
+    bar per ``(tenant, outcome)`` request class.
+    """
+    lines = [
+        f"{label} — {report.get('requests', 0)} requests"
+        f" · min coverage {float(report.get('min_coverage', 0.0)):.1%}"
+        f" · max attribution error"
+        f" {float(report.get('max_attribution_error', 0.0)):.2%}"
+    ]
+    stages = report.get("stages", [])
+    if stages:
+        name_w = max(len(s["stage"]) for s in stages)
+        lines.append("")
+        for row in stages:
+            share = float(row.get("share", 0.0))
+            lines.append(
+                f"{row['stage']:<{name_w}}  {float(row['seconds']):>9.4f} s"
+                f"  {share:>6.1%}  {share_bar(share)}"
+            )
+    classes = request_classes(report.get("per_request", []))
+    if classes:
+        order = _stage_order(
+            [s for cls in classes for s in cls["stages"]]
+        )
+        legend = " ".join(f"{_glyph(s)}={s}" for s in order)
+        lines += ["", f"per request class (tenant/outcome; {legend}):", ""]
+        head_w = max(
+            len(f"{cls['tenant']}/{cls['outcome']}") for cls in classes
+        )
+        for cls in classes:
+            bar = partition_bar(
+                [(s, cls["stages"].get(s, 0.0)) for s in order], width
+            )
+            lines.append(
+                f"{cls['tenant'] + '/' + cls['outcome']:<{head_w}}"
+                f"  n={cls['count']:<4d}"
+                f" mean {cls['mean_latency_s']:.4f} s"
+                f"  |{bar}|"
+            )
+    return lines

@@ -1,0 +1,88 @@
+"""Markdown table rendering for the results report.
+
+Everything here is a pure function of its inputs — formatting floats
+with a fixed significant-digit rule, booleans as ``yes``/``no`` — so
+the emitted document is byte-stable across regenerations.  Columns are
+taken from the rows themselves in order of first appearance: the bench
+payloads embed their rows verbatim from the experiment reports, whose
+key order is pinned by the harness, so the report never needs a
+per-family column list that could drift from the payload schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "format_value",
+    "ledger_range",
+    "markdown_table",
+    "row_columns",
+    "rows_table",
+]
+
+#: Significant digits for floats (matches the benches' own rounding
+#: scale; enough to keep p99s and makespans distinguishable).
+FLOAT_DIGITS = 4
+
+
+def format_value(value) -> str:
+    """One cell: fixed float rule, JSON-ish booleans, empty for None."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{FLOAT_DIGITS}g}"
+    return str(value)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[str]:
+    """A GitHub-flavored markdown table as a list of lines."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    return lines
+
+
+def row_columns(rows: Sequence[Dict]) -> List[str]:
+    """Column order for a rows table: first appearance across the rows."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None):
+    """Markdown lines for a payload's embedded ``rows`` list."""
+    if not rows:
+        return ["*(no rows)*"]
+    columns = list(columns) if columns is not None else row_columns(rows)
+    return markdown_table(columns, [[r.get(c) for c in columns] for r in rows])
+
+
+def ledger_range(entries: Sequence[Dict], key: str) -> str:
+    """A volatile field rendered as a range over the ledger's entries.
+
+    Wall clocks and events/wall-second are host-dependent, so the
+    report never prints the snapshot's point value as if it were a
+    measurement; it prints the min–max envelope of every recorded run
+    instead (a single value when the ledger has one entry or the
+    extremes coincide).
+    """
+    values = [e[key] for e in entries if e.get(key) is not None]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return format_value(lo)
+    return f"{format_value(lo)}–{format_value(hi)}"

@@ -1,0 +1,121 @@
+"""The bench regression gate (scripts/check_regression.py).
+
+The script is stdlib-only and lives outside the package, so load it by
+path.  Coverage: the newly-added-bench seeding path — with a history
+ledger, a candidate file with no committed baseline must seed its
+ledger and pass instead of erroring, and the seeded entry must become
+the reference the next run is gated against; without ``--history-dir``
+a missing baseline stays a hard failure.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def _payload(bench="serve", events=1200, scale=64):
+    return {
+        "schema": 1,
+        "bench": bench,
+        "scale_kb": scale,
+        "wall_seconds_total": 1.0,
+        "events_dispatched_total": events,
+        "events_per_wall_second": events,
+        "experiments": {},
+    }
+
+
+@pytest.fixture
+def tree(tmp_path):
+    base = tmp_path / "base"
+    cand = tmp_path / "cand"
+    hist = tmp_path / "hist"
+    base.mkdir()
+    cand.mkdir()
+    return base, cand, hist
+
+
+def _write(directory: Path, name: str, payload: dict):
+    (directory / name).write_text(json.dumps(payload))
+
+
+def _run(base, cand, hist=None, files=None):
+    argv = ["--baseline", str(base), "--candidate", str(cand), "--no-wall"]
+    if hist is not None:
+        argv += ["--history-dir", str(hist)]
+    if files:
+        argv += ["--files", *files]
+    return check_regression.main(argv)
+
+
+class TestNewBenchSeeding:
+    def test_missing_ledger_file_seeds_and_passes(self, tree):
+        base, cand, hist = tree
+        _write(base, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_serve.json", _payload())
+        assert _run(base, cand, hist) == 0
+        entries = (hist / "BENCH_serve.jsonl").read_text().splitlines()
+        assert len(entries) == 1
+        assert json.loads(entries[0])["checks_pass"] is True
+
+    def test_candidate_only_bench_seeds_and_passes(self, tree):
+        base, cand, hist = tree
+        _write(base, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_engine.json", _payload(bench="engine", events=99))
+        # Default file list must pick up the candidate-only bench.
+        assert _run(base, cand, hist) == 0
+        seeded = json.loads((hist / "BENCH_engine.jsonl").read_text())
+        assert seeded["bench"] == "engine"
+        assert seeded["events_dispatched_total"] == 99
+        assert seeded["checks_pass"] is True
+
+    def test_seeded_entry_gates_the_next_run(self, tree):
+        base, cand, hist = tree
+        _write(base, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_engine.json", _payload(bench="engine", events=99))
+        assert _run(base, cand, hist) == 0
+        # Same events: still passes, ledger grows.
+        assert _run(base, cand, hist) == 0
+        # Drifted events: the seeded entry is now the reference.
+        _write(cand, "BENCH_engine.json", _payload(bench="engine", events=100))
+        assert _run(base, cand, hist) == 1
+        entries = [
+            json.loads(line)
+            for line in (hist / "BENCH_engine.jsonl").read_text().splitlines()
+        ]
+        assert [e["checks_pass"] for e in entries] == [True, True, False]
+
+    def test_failed_seed_never_becomes_reference(self, tree):
+        base, cand, hist = tree
+        _write(base, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_serve.json", _payload(events=7777))  # drift
+        assert _run(base, cand, hist) == 1
+        # The logged failure must not gate (or pass) the next run.
+        _write(cand, "BENCH_serve.json", _payload())
+        assert _run(base, cand, hist) == 0
+
+    def test_without_history_dir_missing_baseline_still_fails(self, tree):
+        base, cand, _ = tree
+        _write(base, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_serve.json", _payload())
+        _write(cand, "BENCH_engine.json", _payload(bench="engine"))
+        # Named explicitly: hard failure, as before.
+        assert _run(base, cand, files=["BENCH_engine.json"]) == 1
+        # Default list without a ledger ignores candidate-only strays.
+        assert _run(base, cand) == 0
+
+    def test_missing_candidate_fails_even_with_history(self, tree):
+        base, cand, hist = tree
+        _write(base, "BENCH_serve.json", _payload())
+        assert _run(base, cand, hist, files=["BENCH_serve.json"]) == 1
