@@ -8,12 +8,14 @@ every push; needs numpy, unlike ``check_docs.py``)::
 
 The check drives three short but *maximally messy* serving runs — the
 ``chaos-storm`` library scenario (crash + slow disk + link cut,
-recovery armed, batching on), an autoscale cell (resize up and down),
-and a 2-cell federated fleet (router probes, spillover, long-tail
-fluid load) — so that every subsystem books its counters and gauges:
-admission, DWRR, batching, the decision cache, wire accounting, device
-busy-time, the strip caches, the fault plane, the autoscale
-controller, and the fleet tier.  Then it asserts:
+recovery armed, batching on, the telemetry sampler + alert engine
+riding along via the scenario's alert gates), an autoscale cell
+(resize up and down), and a 2-cell federated fleet (router probes,
+spillover, long-tail fluid load, fleet-wide telemetry) — so that every
+subsystem books its counters and gauges: admission, DWRR, batching,
+the decision cache, wire accounting, device busy-time, the strip
+caches, the fault plane, the autoscale controller, the fleet tier, and
+the ``telemetry.*`` / ``alert.*`` meta-metrics.  Then it asserts:
 
 1. **Declared** — :meth:`MetricRegistry.undeclared` is empty: every
    name booked in the MonitorHub is covered by an exact
@@ -59,6 +61,12 @@ def storm_system():
     pfs, config = build_scenario(load_scenario("chaos-storm"))
     system = ServeSystem(pfs, config)
     system.run()
+    if system.telemetry is None:
+        raise RuntimeError(
+            "chaos-storm no longer declares alert gates, so the telemetry"
+            " meta-metrics went unexercised — re-add an alert_* check or"
+            " enable telemetry here explicitly"
+        )
     return system
 
 
@@ -81,6 +89,7 @@ def fleet_system():
     router probes and spillover — so the fleet tier books its ``fleet.*``
     counters and gauges; returns the live FleetSystem."""
     from repro.harness.fleet_bench import fleet_run, fleet_tenants
+    from repro.telemetry import TelemetryConfig
 
     _, system = fleet_run(
         2,
@@ -89,6 +98,7 @@ def fleet_system():
         policy="least-loaded",
         chaos_cell=0,
         longtail=True,
+        telemetry=TelemetryConfig(),
     )
     return system
 
@@ -110,7 +120,7 @@ def check_fleet(system) -> List[str]:
     return problems
 
 
-def check_run(label: str, system) -> List[str]:
+def check_run(label: str, system, telemetry: bool = False) -> List[str]:
     problems = []
     registry = system.metrics
     booked = len(registry.monitors.counters) + len(registry.monitors.gauges)
@@ -120,6 +130,13 @@ def check_run(label: str, system) -> List[str]:
         problems.append(f"{label}: {issue}")
     if not registry.histograms:
         problems.append(f"{label}: no histograms were observed")
+    if telemetry:
+        # The sampler's own meta-metrics must land in the hub (and, via
+        # the undeclared() sweep above, in the catalog).
+        if "telemetry.samples" not in registry.monitors.counters:
+            problems.append(f"{label}: sampler booked no telemetry.samples")
+        if "alert.active" not in registry.monitors.gauges:
+            problems.append(f"{label}: alert engine booked no alert.active")
     if not problems:
         print(
             f"  {label}: {booked} booked counters/gauges all declared,"
@@ -147,8 +164,8 @@ def check_documented() -> List[str]:
 
 def main() -> int:
     problems: List[str] = []
-    print("running chaos-storm cell (faults + batching + recovery):")
-    problems += check_run("storm", storm_system())
+    print("running chaos-storm cell (faults + batching + recovery + telemetry):")
+    problems += check_run("storm", storm_system(), telemetry=True)
     print("running autoscale cell (resize up/down):")
     problems += check_run("autoscale", autoscale_system())
     print("running federated fleet (2 cells, chaos + long-tail):")

@@ -81,6 +81,9 @@ FOREIGN_FLAGS = {
     # scripts/check_results.py
     "--results",
     "--update",
+    # scripts/check_telemetry.py
+    "--expect-fired",
+    "--expect-resolved",
 }
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

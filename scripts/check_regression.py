@@ -38,6 +38,17 @@ run seeds the bench's ledger as its first recorded entry, and the file
 passes.  The next run then has a reference.  Without ``--history-dir``
 a missing baseline stays a hard failure, as before.
 
+``--attribution-dir`` (default ``benchmarks/attribution``) additionally
+gates the committed ``*.attribution.json`` tracer fixtures: every
+fixture's span-tree coverage must stay at or above 95% of each finished
+request's latency and its critical-path stage decomposition must sum to
+each request's latency within 1% — the tracer's acceptance bounds,
+re-enforced here so a simulator change cannot quietly erode them behind
+the trace bench's back.  The headline figures are also re-derived from
+the fixture's per-request rows, so a fixture edited by hand (or a
+regeneration that drops rows) fails rather than being taken at its
+word.  Pass an empty string to skip the gate.
+
 Usage::
 
     PYTHONPATH=src python -m repro.harness all --bench-dir /tmp/bench
@@ -66,6 +77,11 @@ VOLATILE_KEYS = frozenset(
 
 #: Default relative wall-clock regression tolerance (+20%).
 WALL_TOLERANCE = 0.20
+
+#: Tracer acceptance bounds, mirrored from ``repro.harness.tracing``
+#: (kept literal so this script stays stdlib-only).
+MIN_COVERAGE = 0.95
+MAX_ATTRIBUTION_ERROR = 0.01
 
 
 def strip_volatile(doc):
@@ -141,6 +157,63 @@ def check_file(baseline: Path, candidate: Path, wall_tolerance, check_wall: bool
                 f"  wall {cand_wall:.3f}s vs baseline {base_wall:.3f}s"
                 f" (tolerance +{wall_tolerance:.0%})"
             )
+    return failures
+
+
+def check_attribution_file(path: Path):
+    """Gate one committed attribution fixture; returns failure strings."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable ({exc})"]
+    failures = []
+    rows = doc.get("per_request") or []
+    requests = doc.get("requests")
+    if not rows or requests != len(rows):
+        failures.append(
+            f"per-request table has {len(rows)} rows but claims"
+            f" {requests} requests"
+        )
+    min_cov = doc.get("min_coverage")
+    max_err = doc.get("max_attribution_error")
+    if not isinstance(min_cov, (int, float)) or min_cov < MIN_COVERAGE:
+        failures.append(
+            f"span coverage floor {min_cov!r} below the"
+            f" {MIN_COVERAGE:.0%} acceptance bound"
+        )
+    if not isinstance(max_err, (int, float)) or max_err > MAX_ATTRIBUTION_ERROR:
+        failures.append(
+            f"attribution error {max_err!r} above the"
+            f" {MAX_ATTRIBUTION_ERROR:.0%} acceptance bound"
+        )
+    if rows and not failures:
+        # Re-derive the headlines so an edited fixture can't vouch for
+        # itself.  Coverage is defined over finished requests only.
+        finished = [
+            r for r in rows if r.get("outcome") not in ("expired", "failed")
+        ]
+        derived_cov = min((r.get("coverage", 0.0) for r in finished), default=0.0)
+        if finished and derived_cov < min_cov - 1e-9:
+            failures.append(
+                f"per-request rows put min coverage at {derived_cov:.4f},"
+                f" below the headline {min_cov:.4f}"
+            )
+    if not failures:
+        print(
+            f"  {path.name}: {len(rows)} request(s), coverage >="
+            f" {min_cov:.4f}, attribution error <= {max_err:.6f}"
+        )
+    return failures
+
+
+def check_attribution_dir(attribution_dir: Path):
+    """Gate every committed ``*.attribution.json`` fixture."""
+    fixtures = sorted(attribution_dir.glob("*.attribution.json"))
+    if not fixtures:
+        return [f"{attribution_dir}/: no *.attribution.json fixtures"]
+    failures = []
+    for path in fixtures:
+        failures += [f"{path.name}: {f}" for f in check_attribution_file(path)]
     return failures
 
 
@@ -233,6 +306,12 @@ def main(argv=None) -> int:
                         help="with --history-dir: allowed relative drop in"
                              " events_per_wall_second vs the last passing"
                              " run (same-host only; off by default)")
+    parser.add_argument("--attribution-dir", default="benchmarks/attribution",
+                        metavar="DIR",
+                        help="committed *.attribution.json fixtures to gate"
+                             " on the tracer's coverage/attribution bounds"
+                             " (default benchmarks/attribution; empty"
+                             " string skips)")
     args = parser.parse_args(argv)
 
     baseline_dir = Path(args.baseline)
@@ -299,6 +378,19 @@ def main(argv=None) -> int:
                 print(f"  {line}")
         else:
             print(f"PASS {name}")
+    if args.attribution_dir:
+        attribution_dir = Path(args.attribution_dir)
+        if attribution_dir.is_dir():
+            print(f"checking attribution fixtures under {attribution_dir}/ ...")
+            attribution_failures = check_attribution_dir(attribution_dir)
+            if attribution_failures:
+                failed += 1
+                names.append(str(attribution_dir))
+                print(f"FAIL {attribution_dir}/:")
+                for line in attribution_failures:
+                    print(f"  {line}")
+            else:
+                print(f"PASS {attribution_dir}/")
     if failed:
         print(f"{failed}/{len(names)} BENCH file(s) failed", file=sys.stderr)
         return 1

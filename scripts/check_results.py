@@ -61,6 +61,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--telemetry-dir",
+        default=str(REPO / "benchmarks" / "telemetry"),
+        metavar="DIR",
+        help=(
+            "committed sampler artifacts rendered as the health timeline"
+            " (default: benchmarks/telemetry/)"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="write the regenerated report instead of checking",
@@ -75,6 +84,7 @@ def main(argv=None) -> int:
         bench_dir=args.benchmarks_dir,
         history_dir=args.history_dir,
         attribution_dir=args.attribution_dir,
+        telemetry_dir=args.telemetry_dir,
     )
     results = Path(args.results)
     if args.update:

@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Telemetry-smoke checker: exported telemetry artifacts must be sound.
+
+Run from the repository root against a directory the harness filled
+with ``--telemetry-dir``::
+
+    PYTHONPATH=src python -m repro.harness serve-bench --telemetry-dir telemetry-out
+    python scripts/check_telemetry.py telemetry-out
+
+For every ``<label>.telemetry.json`` in the directory this asserts:
+
+1. The document carries the ``repro.telemetry/1`` schema marker, a
+   positive sampling interval, a positive sample count, and a horizon.
+2. Every series is well-formed: a known kind (``counter`` / ``gauge`` /
+   ``quantile``), strictly increasing timestamps, every timestamp on
+   the ``k * interval`` boundary grid and within the horizon, and
+   counter deltas never negative.
+3. Every alert scope is well-formed: each ledger entry names a declared
+   rule, resolves strictly after it fires (or not at all), and the
+   per-rule fire/resolve sequence alternates (no double-fire without a
+   resolve in between).
+
+With ``--expect-fired``/``--expect-resolved`` (repeatable) the named
+alert rules must appear fired / resolved in at least one artifact —
+this is how CI pins "the storm pages availability" and "the autoscaler
+resolves the burn" to the committed artifacts.
+
+Exits non-zero listing every problem found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCHEMA = "repro.telemetry/1"
+
+#: Series kinds the sampler emits (mirrors repro.telemetry.series.KINDS,
+#: but kept literal so this script needs no numpy-importing package).
+KINDS = ("counter", "gauge", "quantile")
+
+#: Grid slack: boundaries are k * interval with integer k.
+EPS = 1e-9
+
+
+def _check_series(label: str, name: str, series: dict, interval: float,
+                  horizon: float) -> List[str]:
+    problems: List[str] = []
+    kind = series.get("kind")
+    if kind not in KINDS:
+        problems.append(f"{label}: series {name!r} has unknown kind {kind!r}")
+    points = series.get("points")
+    if not isinstance(points, list):
+        return problems + [f"{label}: series {name!r} has no points list"]
+    prev_t = None
+    for point in points:
+        if not isinstance(point, list) or len(point) != 2:
+            problems.append(
+                f"{label}: series {name!r} has malformed point {point!r}"
+            )
+            break
+        t, v = point
+        if prev_t is not None and t <= prev_t:
+            problems.append(
+                f"{label}: series {name!r} timestamps not strictly"
+                f" increasing at t={t:g}"
+            )
+            break
+        prev_t = t
+        ticks = t / interval
+        if abs(ticks - round(ticks)) > 1e-6:
+            problems.append(
+                f"{label}: series {name!r} point t={t:g} off the"
+                f" {interval:g}s boundary grid"
+            )
+            break
+        if horizon is not None and t > horizon + EPS:
+            problems.append(
+                f"{label}: series {name!r} point t={t:g} past the"
+                f" horizon {horizon:g}"
+            )
+            break
+        if kind == "counter" and v < 0:
+            problems.append(
+                f"{label}: counter series {name!r} has negative delta"
+                f" {v:g} at t={t:g}"
+            )
+            break
+    return problems
+
+
+def _check_alerts(label: str, alerts: dict) -> List[str]:
+    problems: List[str] = []
+    declared = {
+        r.get("name") for r in alerts.get("rules", []) if isinstance(r, dict)
+    }
+    open_rules: Set[str] = set()
+    for entry in alerts.get("ledger", []):
+        rule = entry.get("rule")
+        fired = entry.get("fired_at")
+        resolved = entry.get("resolved_at")
+        if rule not in declared:
+            problems.append(
+                f"{label}: ledger entry for undeclared rule {rule!r}"
+            )
+        if fired is None:
+            problems.append(f"{label}: ledger entry for {rule!r} never fired")
+            continue
+        if rule in open_rules:
+            problems.append(
+                f"{label}: rule {rule!r} fired again at {fired:g} while"
+                " still open (no resolve in between)"
+            )
+        if resolved is None:
+            open_rules.add(rule)
+        elif resolved <= fired:
+            problems.append(
+                f"{label}: rule {rule!r} resolved at {resolved:g}, not"
+                f" strictly after its fire at {fired:g}"
+            )
+        else:
+            open_rules.discard(rule)
+    return problems
+
+
+def check_telemetry_file(path: Path) -> Tuple[List[str], Set[str], Set[str]]:
+    """-> (problems, fired rule names, resolved rule names)."""
+    fired: Set[str] = set()
+    resolved: Set[str] = set()
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"], fired, resolved
+
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(
+            f"{path.name}: schema is {doc.get('schema')!r}, not {SCHEMA!r}"
+        )
+    interval = doc.get("interval")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        return problems + [
+            f"{path.name}: interval {interval!r} is not a positive number"
+        ], fired, resolved
+    if not isinstance(doc.get("samples"), int) or doc["samples"] <= 0:
+        problems.append(f"{path.name}: sample count {doc.get('samples')!r}")
+    horizon = doc.get("horizon")
+    if not isinstance(horizon, (int, float)) or horizon <= 0:
+        problems.append(f"{path.name}: horizon {horizon!r}")
+        horizon = None
+
+    scopes = doc.get("scopes")
+    if not isinstance(scopes, dict) or not scopes:
+        return problems + [f"{path.name}: no scopes"], fired, resolved
+    n_series = n_points = n_ledger = 0
+    for scope_name, scope in scopes.items():
+        label = f"{path.name}[{scope_name}]"
+        series = scope.get("series")
+        if not isinstance(series, dict) or not series:
+            problems.append(f"{label}: no series")
+            continue
+        n_series += len(series)
+        for name, entry in series.items():
+            n_points += len(entry.get("points") or [])
+            problems += _check_series(label, name, entry, interval, horizon)
+        alerts = scope.get("alerts")
+        if alerts:
+            problems += _check_alerts(label, alerts)
+            n_ledger += len(alerts.get("ledger", []))
+            for entry in alerts.get("ledger", []):
+                if entry.get("fired_at") is not None:
+                    fired.add(entry.get("rule"))
+                if entry.get("resolved_at") is not None:
+                    resolved.add(entry.get("rule"))
+    if not problems:
+        print(
+            f"  {path.name}: {len(scopes)} scope(s), {n_series} series,"
+            f" {n_points} points, {n_ledger} ledger entries — valid"
+        )
+    return problems, fired, resolved
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate --telemetry-dir artifacts."
+    )
+    parser.add_argument(
+        "telemetry_dir", nargs="?", default=str(REPO / "telemetry-out"),
+        help="directory of *.telemetry.json artifacts (default telemetry-out)",
+    )
+    parser.add_argument(
+        "--expect-fired", action="append", default=[], metavar="RULE",
+        help="alert rule that must appear fired in some artifact; repeatable",
+    )
+    parser.add_argument(
+        "--expect-resolved", action="append", default=[], metavar="RULE",
+        help="alert rule that must appear resolved in some artifact;"
+        " repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    telemetry_dir = Path(args.telemetry_dir)
+    if not telemetry_dir.is_dir():
+        print(f"telemetry-check: no such directory {telemetry_dir}")
+        return 1
+    artifacts = sorted(telemetry_dir.glob("*.telemetry.json"))
+    if not artifacts:
+        print(f"telemetry-check: no *.telemetry.json under {telemetry_dir}")
+        return 1
+    problems: List[str] = []
+    fired: Set[str] = set()
+    resolved: Set[str] = set()
+    for artifact in artifacts:
+        print(f"checking {artifact.name}:")
+        file_problems, file_fired, file_resolved = check_telemetry_file(artifact)
+        problems += file_problems
+        fired |= file_fired
+        resolved |= file_resolved
+    for rule in args.expect_fired:
+        if rule not in fired:
+            problems.append(
+                f"expected alert rule {rule!r} to have fired"
+                f" (fired: {sorted(fired) or 'none'})"
+            )
+    for rule in args.expect_resolved:
+        if rule not in resolved:
+            problems.append(
+                f"expected alert rule {rule!r} to have resolved"
+                f" (resolved: {sorted(resolved) or 'none'})"
+            )
+    if problems:
+        print(f"telemetry-check: {len(problems)} problem(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"telemetry-check: {len(artifacts)} artifact(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -65,6 +65,7 @@ class FleetSystem:
         seed: int = 20120910,
         tracer: Optional[object] = None,
         assignments: Optional[Dict[str, str]] = None,
+        telemetry: Optional[object] = None,
     ):
         if not cells:
             raise FleetError("a fleet needs at least one cell")
@@ -154,6 +155,35 @@ class FleetSystem:
                 )
             )
         self.workloads = tuple(workloads)
+        self.telemetry = None
+        if telemetry is not None:
+            # One sampler over every hub on the shared clock: the fleet
+            # scope (router/controller/longtail counters) plus one scope
+            # per cell, each cell evaluated against the serve rule set.
+            from ..telemetry import (
+                TelemetrySampler,
+                default_fleet_rules,
+                default_serve_rules,
+            )
+
+            self.telemetry = TelemetrySampler(env, telemetry)
+            fleet_rules = telemetry.rules
+            cell_rules = default_serve_rules()
+            if fleet_rules is None:
+                fleet_rules = default_fleet_rules(len(self.cells))
+            self.telemetry.add_scope(
+                "fleet", self.monitors, registry=self.metrics,
+                rules=fleet_rules, active_until=self.duration,
+            )
+            for cell in self.cells:
+                self.telemetry.add_scope(
+                    cell.name,
+                    cell.cluster.monitors,
+                    registry=cell.metrics,
+                    rules=cell_rules,
+                    active_until=self.duration,
+                )
+            self.telemetry.attach()
         self._ran = False
 
     # -- the run ----------------------------------------------------------------
@@ -173,6 +203,8 @@ class FleetSystem:
             workload.start(self.router)
         self.env.run()  # to quiescence across every cell
         elapsed = self.env.now - started
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.env.now)
         self._check_conservation()
         return self.summary(elapsed)
 
@@ -262,4 +294,8 @@ class FleetSystem:
         }
         if self.longtail is not None:
             out["longtail"] = self.longtail.summary()
+        if self.telemetry is not None:
+            # Only telemetry-configured runs carry the block, so
+            # sampled-off fleet summaries stay bit-identical.
+            out["telemetry"] = self.telemetry.summary_block()
         return out

@@ -93,6 +93,7 @@ def autoscale_cell(
     duration: float,
     platform: Optional[ExperimentPlatform] = None,
     tracer=None,
+    telemetry=None,
 ) -> Tuple[Dict[str, object], ServeSystem]:
     """One ramped serving run; returns the summary and the live system
     (the bench reads the controller trace and per-request digests)."""
@@ -123,6 +124,7 @@ def autoscale_cell(
         ramp=surge_ramp(duration),
         autoscale=policy,
         tracer=tracer,
+        telemetry=telemetry,
     )
     system = ServeSystem(pfs, config)
     return system.run(), system
@@ -150,7 +152,12 @@ def _row(name: str, summary: Dict[str, object], system: ServeSystem) -> dict:
 
 
 def autoscale_bench(
-    platform=None, scale=None, verify=True, trace_dir=None, trace_sample: int = 1
+    platform=None,
+    scale=None,
+    verify=True,
+    trace_dir=None,
+    trace_sample: int = 1,
+    telemetry_dir=None,
 ) -> ExperimentReport:
     """The autoscaling comparison (registered as ``autoscale-bench``).
 
@@ -316,11 +323,48 @@ def autoscale_bench(
         )
         checks += trace_checks
 
+    aux_checks = []
+    if telemetry_dir is not None:
+        from .telemetry import telemetry_replay
+
+        # The full-length surge plays the whole incident on the sampler:
+        # queue-growth trips first (the leading indicator), saturation
+        # and both burn pages follow, and the controller's scale-up must
+        # resolve every one of them before the horizon.  Reduced-scale
+        # runs skip the expectations for the same reason they skip the
+        # surge/recovery checks.
+        expect = (
+            ("availability-burn", "latency-burn", "queue-growth",
+             "queue-saturated")
+            if full_length
+            else ()
+        )
+
+        def _telemetered(config):
+            summary, system = autoscale_cell(
+                MIN_SERVERS, MAX_SERVERS, MIN_SERVERS, duration,
+                platform=platform, telemetry=config,
+            )
+            return summary, system.telemetry
+
+        telemetry_checks, _ = telemetry_replay(
+            "autoscale",
+            _telemetered,
+            auto_summary,
+            telemetry_dir,
+            meta={"bench": "autoscale-bench", "cell": "autoscale",
+                  "duration": duration},
+            expect_fired=expect,
+            expect_resolved=expect,
+        )
+        aux_checks += telemetry_checks
+
     return ExperimentReport(
         experiment="autoscale-bench",
         title="SLO-driven autoscaling: static partitions vs the controller",
         rows=rows,
         checks=checks,
+        aux_checks=aux_checks,
         notes=(
             f"{SERVE_NODES} nodes, ramped load 1x -> {SURGE:g}x -> 0.25x over"
             f" {duration:g}s, deadline {DEADLINE:g}s; clamp"

@@ -86,6 +86,7 @@ def chaos_cell(
     deadline: float = CHAOS_DEADLINE,
     platform: Optional[ExperimentPlatform] = None,
     tracer=None,
+    telemetry=None,
 ) -> Dict[str, object]:
     """One faulted serving run: fresh platform, chosen ingest, summary.
 
@@ -94,6 +95,33 @@ def chaos_cell(
     cell with ``faults=None, recovery=None, replicated=False`` and the
     serve-bench deadline reproduces a serve-bench cell bit-identically.
     """
+    summary, _ = chaos_cell_system(
+        scheme,
+        duration,
+        faults=faults,
+        recovery=recovery,
+        replicated=replicated,
+        deadline=deadline,
+        platform=platform,
+        tracer=tracer,
+        telemetry=telemetry,
+    )
+    return summary
+
+
+def chaos_cell_system(
+    scheme: str,
+    duration: float,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    replicated: bool = True,
+    deadline: float = CHAOS_DEADLINE,
+    platform: Optional[ExperimentPlatform] = None,
+    tracer=None,
+    telemetry=None,
+):
+    """Like :func:`chaos_cell` but also returns the system (telemetry
+    replays read the sampler off it for artifact export)."""
     platform = serve_platform(platform)
     cluster, pfs = build_serve_platform(platform)
     rng = np.random.default_rng(platform.seed)
@@ -110,8 +138,10 @@ def chaos_cell(
         recovery=recovery,
         decision_ttl=1.0 if recovery is not None and scheme == "DAS" else None,
         tracer=tracer,
+        telemetry=telemetry,
     )
-    return ServeSystem(pfs, config).run()
+    system = ServeSystem(pfs, config)
+    return system.run(), system
 
 
 def single_crash_plan(pfs, duration: float) -> FaultPlan:
@@ -176,6 +206,7 @@ def chaos_bench(
     chaos_spec: Optional[str] = None,
     trace_dir=None,
     trace_sample: int = 1,
+    telemetry_dir=None,
 ) -> ExperimentReport:
     """The fault-injection sweep (registered as ``chaos-bench``).
 
@@ -399,11 +430,51 @@ def chaos_bench(
         )
         checks += trace_checks
 
+    aux_checks = []
+    if telemetry_dir is not None:
+        from .telemetry import telemetry_replay
+
+        # The NAS crash cell is the one whose faults *show*: NAS offloads
+        # with no decision plane, so execs landing on the dead server
+        # fail until it recovers — the availability and latency budgets
+        # burn on both windows, page, and resolve once the server heals.
+        # (DAS cells mask the same faults via fallback + hedging; their
+        # ledgers staying empty is the bench's whole point.)
+        if "NAS" in schemes:
+            t_cell, t_scheme = "crash-NAS", "NAS"
+            expect = ("availability-burn", "latency-burn")
+        else:
+            t_cell, t_scheme = "storm-DAS", "DAS"
+            expect = ()
+
+        def _telemetered(config):
+            summary, system = chaos_cell_system(
+                t_scheme,
+                duration,
+                faults=storm if t_cell == "storm-DAS" else crash,
+                recovery=CHAOS_RECOVERY,
+                platform=platform,
+                telemetry=config,
+            )
+            return summary, system.telemetry
+
+        telemetry_checks, _ = telemetry_replay(
+            f"chaos_{t_cell.replace('-', '_')}",
+            _telemetered,
+            summaries[t_cell],
+            telemetry_dir,
+            meta={"bench": "chaos-bench", "cell": t_cell, "duration": duration},
+            expect_fired=expect,
+            expect_resolved=expect,
+        )
+        aux_checks += telemetry_checks
+
     return ExperimentReport(
         experiment="chaos-bench",
         title="Fault injection: availability and failover, TS/NAS/DAS",
         rows=rows,
         checks=checks,
+        aux_checks=aux_checks,
         notes=(
             f"{SERVE_NODES} nodes (half storage), {RASTER[0]}x{RASTER[1]} rasters,"
             f" load x{CHAOS_LOAD:g} for {duration:g}s per cell; crash at"

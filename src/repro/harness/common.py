@@ -265,6 +265,18 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPar
             " (deterministic by request id; default 1 = every request)"
         ),
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve/chaos/autoscale/fleet benches: re-run one"
+            " representative cell with the clock-driven telemetry"
+            " sampler + alert engine on, write DIR/<cell>.telemetry.json"
+            " (validated by scripts/check_telemetry.py), and check the"
+            " sampled run is bit-identical to the unsampled one"
+        ),
+    )
     return parser
 
 

@@ -218,6 +218,7 @@ def fleet_run(
     ramp: Optional[Tuple[Tuple[float, float], ...]] = None,
     platform: Optional[ExperimentPlatform] = None,
     tracer=None,
+    telemetry=None,
 ) -> Tuple[Dict[str, object], FleetSystem]:
     """One federated run: fresh clock, ``n_cells`` identical cells (bar
     the chaos plan / autoscale clamp), one router, one controller."""
@@ -247,6 +248,7 @@ def fleet_run(
         budget=budget,
         ramp=ramp,
         tracer=tracer,
+        telemetry=telemetry,
     )
     return fleet.run(), fleet
 
@@ -299,6 +301,7 @@ def fleet_bench(
     cell_counts: Sequence[int] = CELL_COUNTS,
     trace_dir=None,
     trace_sample: int = 1,
+    telemetry_dir=None,
 ) -> ExperimentReport:
     """The multi-cell federation bench (registered as ``fleet-bench``).
 
@@ -583,11 +586,55 @@ def fleet_bench(
         )
         checks += trace_checks
 
+    aux_checks = []
+    if telemetry_dir is not None:
+        from .telemetry import telemetry_replay
+
+        # The isolation run in alert form: the router's probes page
+        # fleet-unhealthy while cell-0 rides out its faults (and resolve
+        # it once healed), spillover tickets while traffic diverts, and
+        # the stricken cell's own admission heartbeat stalls mid-crash.
+        # The healthy cells' ledgers staying empty IS the isolation
+        # claim.  Reduced-scale runs skip the expectations with the
+        # other lifecycle checks.
+        expect = (
+            ("fleet-unhealthy", "fleet-spillover", "admission-stall")
+            if full_length
+            else ()
+        )
+
+        def _telemetered(config):
+            summary, system = fleet_run(
+                n_cells=3,
+                tenants=tenants,
+                duration=duration,
+                policy="sticky",
+                assignments=sticky_3,
+                chaos_cell=0,
+                longtail=True,
+                platform=platform,
+                telemetry=config,
+            )
+            return summary, system.telemetry
+
+        telemetry_checks, _ = telemetry_replay(
+            "fleet_isolation",
+            _telemetered,
+            isolation,
+            telemetry_dir,
+            meta={"bench": "fleet-bench", "run": "isolation",
+                  "duration": duration},
+            expect_fired=expect,
+            expect_resolved=expect,
+        )
+        aux_checks += telemetry_checks
+
     return ExperimentReport(
         experiment="fleet-bench",
         title="Fleet federation: isolation, spillover, placement, scaling",
         rows=rows,
         checks=checks,
+        aux_checks=aux_checks,
         notes=(
             f"{SERVE_NODES}-node cells (half storage), {RASTER[0]}x{RASTER[1]}"
             f" rasters replicated per cell, {duration:g}s per run, deadline"

@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--telemetry-dir",
+        default="benchmarks/telemetry",
+        metavar="DIR",
+        help=(
+            "directory of committed <label>.telemetry.json sampler"
+            " artifacts rendered as the fleet health timeline (default:"
+            " benchmarks/telemetry; may be absent)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default="docs/RESULTS.md",
         metavar="PATH",
@@ -103,6 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         bench_dir=args.benchmarks_dir,
         history_dir=args.history_dir,
         attribution_dir=args.attribution_dir,
+        telemetry_dir=args.telemetry_dir,
     )
     out = Path(args.output)
     if args.check:

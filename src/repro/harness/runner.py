@@ -99,6 +99,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         ):
             kwargs["trace_dir"] = args.trace_dir
             kwargs["trace_sample"] = args.trace_sample
+        if args.telemetry_dir is not None and name in (
+            "serve-bench",
+            "chaos-bench",
+            "autoscale-bench",
+            "fleet-bench",
+        ):
+            kwargs["telemetry_dir"] = args.telemetry_dir
         with bench_timer() as timing:
             report = run_experiment(name, **kwargs)
         timed.append((report, timing))

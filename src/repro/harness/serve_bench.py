@@ -105,8 +105,34 @@ def serve_cell(
     platform: Optional[ExperimentPlatform] = None,
     batch_max: int = 1,
     tracer=None,
+    telemetry=None,
 ) -> Dict[str, object]:
     """One serving run: fresh platform, warm ingest, full summary dict."""
+    summary, _ = serve_cell_system(
+        scheme,
+        load,
+        duration=duration,
+        deadline=deadline,
+        platform=platform,
+        batch_max=batch_max,
+        tracer=tracer,
+        telemetry=telemetry,
+    )
+    return summary
+
+
+def serve_cell_system(
+    scheme: str,
+    load: float,
+    duration: float = DURATION,
+    deadline: float = DEADLINE,
+    platform: Optional[ExperimentPlatform] = None,
+    batch_max: int = 1,
+    tracer=None,
+    telemetry=None,
+) -> Tuple[Dict[str, object], ServeSystem]:
+    """Like :func:`serve_cell` but also returns the system (telemetry
+    replays read the sampler off it for artifact export)."""
     platform = serve_platform(platform)
     cluster, pfs = build_serve_platform(platform)
     rng = np.random.default_rng(platform.seed)
@@ -121,8 +147,10 @@ def serve_cell(
         queue_capacity=12,
         batch_max=batch_max,
         tracer=tracer,
+        telemetry=telemetry,
     )
-    return ServeSystem(pfs, config).run()
+    system = ServeSystem(pfs, config)
+    return system.run(), system
 
 
 def _row(summary: Dict[str, object]) -> dict:
@@ -176,6 +204,7 @@ def serve_bench(
     batch_max: int = DEFAULT_BATCH_MAX,
     trace_dir=None,
     trace_sample: int = 1,
+    telemetry_dir=None,
 ) -> ExperimentReport:
     """The serving-layer sweep (registered as ``serve-bench``).
 
@@ -339,11 +368,40 @@ def serve_bench(
         )
         checks += trace_checks
 
+    aux_checks = []
+    if telemetry_dir is not None and rows:
+        from .telemetry import telemetry_replay
+
+        t_scheme = "DAS" if "DAS" in schemes else schemes[0]
+        t_load = 1.0 if 1.0 in loads else loads[0]
+
+        def _telemetered(config):
+            summary, system = serve_cell_system(
+                t_scheme, t_load, duration=duration, platform=platform,
+                telemetry=config,
+            )
+            return summary, system.telemetry
+
+        telemetry_checks, _ = telemetry_replay(
+            f"serve_{t_scheme}_x{t_load:g}",
+            _telemetered,
+            summaries[(t_scheme, t_load, 1)],
+            telemetry_dir,
+            meta={
+                "bench": "serve-bench",
+                "scheme": t_scheme,
+                "load": t_load,
+                "duration": duration,
+            },
+        )
+        aux_checks += telemetry_checks
+
     return ExperimentReport(
         experiment="serve-bench",
         title="Serving layer: offered load vs latency tail, TS/NAS/DAS",
         rows=rows,
         checks=checks,
+        aux_checks=aux_checks,
         notes=(
             f"{SERVE_NODES} nodes (half storage), {RASTER[0]}x{RASTER[1]} rasters,"
             f" 3 tenants (weights 3:2:1) offering {BASE_RATE:g} req/s at load 1.0"

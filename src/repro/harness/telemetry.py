@@ -1,0 +1,120 @@
+"""Telemetry-replay support shared by the serving benches.
+
+Each bench can re-run ONE representative cell with a live
+:class:`~repro.telemetry.TelemetrySampler` attached
+(``--telemetry-dir``).  The sampled run must be *indistinguishable*
+from the unsampled one — same summary dict, same per-request CRCs, same
+simulated latencies — the same zero-perturbation contract the tracer
+holds (the only allowed difference is the ``telemetry`` summary block
+itself, which exists only because sampling was configured).  On top of
+that the replay asserts the alert ledger is well-formed and, when the
+cell declares them, that the expected alerts fired and resolved.
+
+Writes ``<label>.telemetry.json`` (schema ``repro.telemetry/1``,
+validated by ``scripts/check_telemetry.py``) under the telemetry
+directory.  Nothing here runs unless a directory is given, so the
+default bench trajectories stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..sim.core import untallied
+from ..telemetry import TelemetryConfig, TelemetrySampler
+
+
+def _ledgers(block: Dict[str, object]):
+    for scope in block["scopes"].values():  # type: ignore[union-attr]
+        alerts = scope.get("alerts")
+        if alerts:
+            yield from alerts["ledger"]
+
+
+def _rules(block: Dict[str, object], key: str) -> set:
+    names = set()
+    for scope in block["scopes"].values():  # type: ignore[union-attr]
+        alerts = scope.get("alerts")
+        if alerts:
+            names.update(alerts[key])
+    return names
+
+
+def telemetry_replay(
+    label: str,
+    run_cell: Callable[[TelemetryConfig], Tuple[Dict[str, object], TelemetrySampler]],
+    baseline: Dict[str, object],
+    telemetry_dir,
+    meta: Dict[str, object],
+    expect_fired: Sequence[str] = (),
+    expect_resolved: Sequence[str] = (),
+) -> Tuple[List[tuple], List[Path]]:
+    """Re-run one bench cell sampled; returns (checks, written paths).
+
+    ``run_cell`` receives a :class:`TelemetryConfig` and must return the
+    cell's summary dict plus the (finalized) sampler that produced it;
+    ``baseline`` is the unsampled summary of the *same* cell.
+    ``expect_fired`` / ``expect_resolved`` name alert rules the cell is
+    required to have fired / resolved somewhere in its ledger.
+    """
+    config = TelemetryConfig()
+    # The replay is verification overhead, not bench workload: keep its
+    # events out of the process-wide tally so the recorded trajectory is
+    # bit-identical with or without --telemetry-dir.
+    with untallied():
+        summary, sampler = run_cell(config)
+    block = summary.get("telemetry")
+
+    out = Path(telemetry_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    doc = sampler.payload(label, meta=dict(meta, interval=config.interval))
+    path = out / f"{label}.telemetry.json"
+    path.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    stripped = {k: v for k, v in summary.items() if k != "telemetry"}
+    entries = list(_ledgers(block)) if block else []
+    ordered = all(
+        e["resolved_at"] is None or e["resolved_at"] > e["fired_at"]
+        for e in entries
+    )
+    fired = _rules(block, "fired") if block else set()
+    resolved = _rules(block, "resolved") if block else set()
+    checks = [
+        (
+            f"{label}: sampling is non-perturbing — the sampled cell's"
+            " summary (per-request CRCs and latencies included) equals the"
+            " unsampled run bit for bit outside its own telemetry block",
+            block is not None and stripped == baseline,
+        ),
+        (
+            f"{label}: sampler took {sampler.samples} boundary samples and"
+            " the alert ledger is well-formed (every resolve strictly after"
+            " its fire)",
+            sampler.samples > 0 and ordered,
+        ),
+    ]
+    missing_fired = sorted(set(expect_fired) - fired)
+    if expect_fired:
+        checks.append(
+            (
+                f"{label}: declared alerts fired"
+                f" ({', '.join(sorted(expect_fired))};"
+                f" ledger fired: {sorted(fired)})",
+                not missing_fired,
+            )
+        )
+    missing_resolved = sorted(set(expect_resolved) - resolved)
+    if expect_resolved:
+        checks.append(
+            (
+                f"{label}: declared alerts resolved before the horizon"
+                f" ({', '.join(sorted(expect_resolved))};"
+                f" ledger resolved: {sorted(resolved)})",
+                not missing_resolved,
+            )
+        )
+    return checks, [path]

@@ -67,6 +67,13 @@ def _spec(name, kind, unit, help, family=False) -> MetricSpec:
 #: Every metric the runtime books, declared.  Kept in lockstep with
 #: docs/OPERATIONS.md by ``scripts/check_counters.py``.
 CATALOG: Tuple[MetricSpec, ...] = (
+    # -- alerting engine (telemetry scopes) -----------------------------------
+    _spec("alert.fired", COUNTER, "events",
+          "Alert-rule fire transitions booked by the alert engine"),
+    _spec("alert.resolved", COUNTER, "events",
+          "Alert-rule resolve transitions booked by the alert engine"),
+    _spec("alert.active", GAUGE, "alerts",
+          "Alert rules currently firing in this scope"),
     # -- active-storage offload path ------------------------------------------
     _spec("as.exec.amortised_requests", COUNTER, "requests",
           "Batch riders served without their own exec fan-out"),
@@ -204,6 +211,11 @@ CATALOG: Tuple[MetricSpec, ...] = (
           "Arrival-to-finish latency of finished requests"),
     _spec("serve.latency.", HISTOGRAM, "seconds",
           "Arrival-to-finish latency per tenant", family=True),
+    # -- telemetry sampler ----------------------------------------------------
+    _spec("telemetry.samples", COUNTER, "events",
+          "Boundary scrapes taken of this scope"),
+    _spec("telemetry.series", GAUGE, "series",
+          "Ring-buffer time-series held for this scope"),
 )
 
 

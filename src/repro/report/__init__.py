@@ -2,12 +2,14 @@
 
 Turns the repo's committed measurement record — the ``BENCH_*.json``
 snapshots under ``benchmarks/``, the append-only JSONL ledger under
-``benchmarks/history/`` and the critical-path attribution fixtures
-under ``benchmarks/attribution/`` — into one human-readable
+``benchmarks/history/``, the critical-path attribution fixtures under
+``benchmarks/attribution/`` and the sampled telemetry artifacts under
+``benchmarks/telemetry/`` — into one human-readable
 ``docs/RESULTS.md``: per-bench result tables, run-over-run trend
-tables, plain-text flame renderings of where request latency goes, and
-a section mapping the paper-claim verdicts back to the figures in
-PAPER.md via docs/PAPER_MAP.md.
+tables with sparklines, plain-text flame renderings of where request
+latency goes, the fleet health timeline (per-cell health strips, key
+series and the alert ledger), and a section mapping the paper-claim
+verdicts back to the figures in PAPER.md via docs/PAPER_MAP.md.
 
 The emitter is **deterministic**: no timestamps, hostnames or wall
 clocks of the generating run appear in the output — everything is a
@@ -23,26 +25,31 @@ subcommand, :mod:`repro.harness.report`) and
 """
 
 from .emit import generate_results
-from .flame import partition_bar, render_flame, share_bar
+from .flame import partition_bar, render_flame, share_bar, sparkline
 from .loaders import (
     AttributionFixture,
     BenchSnapshot,
+    TelemetryFixture,
     load_attributions,
     load_benchmarks,
     load_history,
+    load_telemetry,
 )
 from .tables import format_value, markdown_table
 
 __all__ = [
     "AttributionFixture",
     "BenchSnapshot",
+    "TelemetryFixture",
     "format_value",
     "generate_results",
     "load_attributions",
     "load_benchmarks",
     "load_history",
+    "load_telemetry",
     "markdown_table",
     "partition_bar",
     "render_flame",
     "share_bar",
+    "sparkline",
 ]

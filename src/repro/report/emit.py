@@ -14,13 +14,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from .flame import render_flame
+from .flame import render_flame, sparkline
 from .loaders import (
     AttributionFixture,
     BenchSnapshot,
+    TelemetryFixture,
     load_attributions,
     load_benchmarks,
     load_history,
+    load_telemetry,
 )
 from .tables import ledger_range, markdown_table, rows_table
 
@@ -47,6 +49,23 @@ PAPER_CLAIM_MAP = (
      "PAPER_MAP.md#section-v-conclusion--future-work"),
 )
 
+#: Key series the fleet health timeline renders per scope, in order,
+#: when the scope sampled them.  Everything else stays in the artifact.
+TIMELINE_SERIES = (
+    ("serve.queue.depth", "queue depth"),
+    ("serve.latency.win_p99", "p99 latency (s, windowed)"),
+    ("serve.path.offload", "offloaded ops / tick"),
+    ("faults.failover_reads", "failover reads / tick"),
+    ("fleet.cells_healthy", "healthy cells"),
+    ("fleet.spillovers", "spillovers / tick"),
+    ("fleet.routed", "routed requests / tick"),
+)
+
+#: Health-strip glyphs: one cell per sampling boundary.
+HEALTH_PAGE = "█"
+HEALTH_TICKET = "▒"
+HEALTH_OK = "·"
+
 _HEADER = """\
 # Results
 
@@ -58,8 +77,10 @@ The measured state of the repository, rendered from its committed
 measurement record and nothing else: the [`benchmarks/`](../benchmarks)
 `BENCH_*.json` snapshots (payload schema: [BENCHMARKS.md](BENCHMARKS.md)),
 the append-only [`benchmarks/history/`](../benchmarks/history) ledger the
-regression gate keeps, and the committed critical-path attribution
-fixtures under [`benchmarks/attribution/`](../benchmarks/attribution).
+regression gate keeps, the committed critical-path attribution
+fixtures under [`benchmarks/attribution/`](../benchmarks/attribution),
+and the sampled telemetry artifacts under
+[`benchmarks/telemetry/`](../benchmarks/telemetry).
 Simulated quantities (rows, check verdicts, event counts) are exactly
 reproducible and printed as-is; host-dependent quantities (wall clocks,
 events/wall-second) appear only as ranges over the recorded history.
@@ -187,7 +208,26 @@ def _trend_section(
                 for i, e in enumerate(entries, 1)
             ],
         )
+        sparks = _ledger_sparklines(entries)
+        if sparks:
+            lines += ["", sparks]
     return lines
+
+
+def _ledger_sparklines(entries: List[dict]) -> str:
+    """One-line run-over-run sparklines (oldest left) for a ledger."""
+    parts = []
+    for key, title in (
+        ("wall_seconds_total", "wall s"),
+        ("events_per_wall_second", "events / wall s"),
+    ):
+        values = [e.get(key) for e in entries]
+        values = [float(v) for v in values if v is not None]
+        if len(values) >= 2:
+            parts.append(f"{title} `{sparkline(values)}`")
+    if not parts:
+        return ""
+    return "Run-over-run sparklines (oldest → newest): " + " · ".join(parts)
 
 
 def _flame_section(fixtures: Sequence[AttributionFixture]) -> List[str]:
@@ -209,6 +249,112 @@ def _flame_section(fixtures: Sequence[AttributionFixture]) -> List[str]:
         lines += ["", "```text"]
         lines += render_flame(fixture.report, fixture.label)
         lines += ["```"]
+    return lines
+
+
+def _health_strip(ledger: List[dict], interval: float, samples: int) -> str:
+    """One glyph per sampling boundary from a scope's alert ledger:
+    page firing beats ticket firing beats healthy."""
+    cells = []
+    for k in range(samples):
+        t = (k + 1) * interval
+        glyph = HEALTH_OK
+        for entry in ledger:
+            fired = entry.get("fired_at")
+            resolved = entry.get("resolved_at")
+            if fired is None or t < fired:
+                continue
+            if resolved is not None and t >= resolved:
+                continue
+            if entry.get("severity") == "page":
+                glyph = HEALTH_PAGE
+                break
+            glyph = HEALTH_TICKET
+        cells.append(glyph)
+    return "".join(cells)
+
+
+def _timeline_section(fixtures: Sequence[TelemetryFixture]) -> List[str]:
+    if not fixtures:
+        return []
+    lines = [
+        "",
+        "## Fleet health timeline",
+        "",
+        "Committed telemetry artifacts from sampler-enabled bench cells",
+        "(`--telemetry-dir`; sampling method, artifact schema and alert",
+        "rules: [OBSERVABILITY.md](OBSERVABILITY.md#live-telemetry-the-clock-driven-sampler-and-the-alert-ledger)).",
+        "Each scope gets a health strip — one cell per sampling boundary,",
+        f"`{HEALTH_PAGE}` while a page-severity alert is firing,",
+        f"`{HEALTH_TICKET}` while only ticket-severity alerts are firing,",
+        f"`{HEALTH_OK}` healthy — and a sparkline per key series.  The",
+        "sampler rides the simulation clock, so every strip and every",
+        "ledger timestamp is exactly reproducible.",
+    ]
+    for fixture in fixtures:
+        lines += [
+            "",
+            f"### `{fixture.label}`",
+            "",
+            f"Sampling interval {fixture.interval:g} s ·"
+            f" {fixture.samples} boundary samples.",
+            "",
+            "```text",
+        ]
+        for scope_name in sorted(fixture.scopes):
+            scope = fixture.scopes[scope_name]
+            alerts = scope.get("alerts") or {}
+            ledger = alerts.get("ledger", [])
+            fired = sum(1 for e in ledger if e.get("fired_at") is not None)
+            resolved = sum(
+                1 for e in ledger if e.get("resolved_at") is not None
+            )
+            suffix = (
+                f" — {fired} alert(s) fired, {resolved} resolved"
+                if alerts
+                else " — no alert rules attached"
+            )
+            lines.append(f"{scope_name}{suffix}")
+            lines.append(
+                "  health"
+                f" |{_health_strip(ledger, fixture.interval, fixture.samples)}|"
+            )
+            series = scope.get("series", {})
+            for name, title in TIMELINE_SERIES:
+                entry = series.get(name)
+                values = [v for _, v in (entry or {}).get("points", [])]
+                if not values:
+                    continue
+                lines.append(
+                    f"  {title:<26} |{sparkline(values)}|"
+                    f"  min {min(values):g} max {max(values):g}"
+                )
+            lines.append("")
+        if lines[-1] == "":
+            lines.pop()
+        lines.append("```")
+        rows = [
+            [
+                f"`{entry.get('scope')}`",
+                f"`{entry.get('rule')}`",
+                entry.get("severity"),
+                f"{entry.get('fired_at'):g}",
+                "—"
+                if entry.get("resolved_at") is None
+                else f"{entry.get('resolved_at'):g}",
+            ]
+            for scope_name in sorted(fixture.scopes)
+            for entry in (
+                (fixture.scopes[scope_name].get("alerts") or {}).get(
+                    "ledger", []
+                )
+            )
+        ]
+        if rows:
+            lines += ["", "Alert ledger (simulated seconds):", ""]
+            lines += markdown_table(
+                ["scope", "rule", "severity", "fired at", "resolved at"], rows
+            )
     return lines
 
 
@@ -269,22 +415,26 @@ def generate_results(
     bench_dir="benchmarks",
     history_dir="benchmarks/history",
     attribution_dir="benchmarks/attribution",
+    telemetry_dir="benchmarks/telemetry",
     snapshots: Optional[Sequence[BenchSnapshot]] = None,
 ) -> str:
     """The complete docs/RESULTS.md text for one committed input set.
 
     ``snapshots`` overrides the directory scan (the tests inject
-    fixture payloads directly); the history and attribution directories
-    may be absent, in which case their sections render empty/omitted.
+    fixture payloads directly); the history, attribution and telemetry
+    directories may be absent, in which case their sections render
+    empty/omitted.
     """
     if snapshots is None:
         snapshots = load_benchmarks(bench_dir)
     ledgers = load_history(history_dir)
     fixtures = load_attributions(attribution_dir)
+    telemetry = load_telemetry(telemetry_dir)
     lines: List[str] = [_HEADER]
     lines += _overview(snapshots, ledgers)
     lines += _bench_sections(snapshots)
     lines += _trend_section(snapshots, ledgers)
     lines += _flame_section(fixtures)
+    lines += _timeline_section(telemetry)
     lines += _paper_section(snapshots)
     return "\n".join(lines).rstrip("\n") + "\n"

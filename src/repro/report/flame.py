@@ -36,6 +36,7 @@ __all__ = [
     "render_flame",
     "request_classes",
     "share_bar",
+    "sparkline",
 ]
 
 #: Bar width (characters) of the per-class partition bars.
@@ -99,6 +100,43 @@ def partition_bar(
     for i in remainders[:leftover]:
         cells[i] += 1
     return "".join(_glyph(stage) * n for (stage, _), n in zip(exact, cells))
+
+
+#: Sparkline glyph ramp, lowest to highest.  Eight levels, like the
+#: terminal convention; a flat series renders as all-minimum.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = BAR_WIDTH) -> str:
+    """One glyph per bucket, min-to-max normalized over the series.
+
+    Longer series are resampled into ``width`` buckets on integer
+    boundaries (``values[n*i//width : n*(i+1)//width]``) — the same
+    exact-apportionment discipline as :func:`partition_bar`: every
+    value lands in exactly one bucket and bucket sizes differ by at
+    most one — then each bucket renders its mean.  Shorter series get
+    one glyph per value.  Deterministic down to the rounding rule.
+    """
+    values = [float(v) for v in values]
+    if not values or width <= 0:
+        return ""
+    n = len(values)
+    if n > width:
+        values = [
+            sum(chunk) / len(chunk)
+            for chunk in (
+                values[n * i // width : n * (i + 1) // width]
+                for i in range(width)
+            )
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0.0:
+        return SPARK_GLYPHS[0] * len(values)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[min(top, int((v - lo) / span * (top + 1)))] for v in values
+    )
 
 
 def _stage_order(present: Sequence[str]) -> List[str]:

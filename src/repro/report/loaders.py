@@ -13,6 +13,10 @@ the generated document is a pure function of the tree:
 * ``benchmarks/attribution/<label>.attribution.json`` — critical-path
   attribution fixtures produced by a ``--trace-dir`` bench run
   (:meth:`repro.metrics.critical_path.CriticalPathReport.as_dict`).
+* ``benchmarks/telemetry/<label>.telemetry.json`` — sampled time-series
+  and alert-ledger artifacts produced by a ``--telemetry-dir`` bench
+  run (schema marker ``repro.telemetry/1``; docs/OBSERVABILITY.md),
+  rendered as the fleet health timeline.
 
 Loaders are strict about what they need (a snapshot must carry
 ``bench`` and ``experiments``) and permissive about everything else, so
@@ -32,9 +36,11 @@ from ..harness.trajectory import BENCH_FILES
 __all__ = [
     "AttributionFixture",
     "BenchSnapshot",
+    "TelemetryFixture",
     "load_attributions",
     "load_benchmarks",
     "load_history",
+    "load_telemetry",
 ]
 
 
@@ -90,6 +96,26 @@ class AttributionFixture:
     @property
     def per_request(self) -> List[dict]:
         return self.report.get("per_request", [])
+
+
+@dataclass(frozen=True)
+class TelemetryFixture:
+    """One committed ``<label>.telemetry.json`` sampler artifact."""
+
+    label: str
+    doc: Dict = field(hash=False)
+
+    @property
+    def interval(self) -> float:
+        return float(self.doc.get("interval", 0.0))
+
+    @property
+    def samples(self) -> int:
+        return int(self.doc.get("samples", 0))
+
+    @property
+    def scopes(self) -> Dict[str, dict]:
+        return self.doc.get("scopes", {})
 
 
 def _read_json(path: Path):
@@ -159,4 +185,18 @@ def load_attributions(attribution_dir) -> List[AttributionFixture]:
         report = _read_json(path)
         label = path.name[: -len(".attribution.json")]
         fixtures.append(AttributionFixture(label=label, report=report))
+    return fixtures
+
+
+def load_telemetry(telemetry_dir) -> List[TelemetryFixture]:
+    """Every ``*.telemetry.json`` under a directory, label order;
+    empty when the directory is absent."""
+    telemetry_dir = Path(telemetry_dir)
+    if not telemetry_dir.is_dir():
+        return []
+    fixtures = []
+    for path in sorted(telemetry_dir.glob("*.telemetry.json")):
+        doc = _read_json(path)
+        label = path.name[: -len(".telemetry.json")]
+        fixtures.append(TelemetryFixture(label=label, doc=doc))
     return fixtures

@@ -14,7 +14,12 @@ Two kinds of checks exist:
 * **identity checks** (``conservation``, ``crc_identity``) assert
   structural invariants — every admitted request settled exactly once,
   and per-request result CRCs match a fault-free reference run of the
-  same scenario.
+  same scenario;
+* **alert checks** (``alert_fired``, ``alert_resolved``) gate on the
+  telemetry alert ledger: declaring one auto-enables the clock-driven
+  sampler for the run (non-perturbing, so every other check reads the
+  identical numbers) and asserts the named rule fired — or fired *and*
+  resolved — somewhere in the ledger.
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ class CheckDef:
     allows_tenant: bool = False
     #: Scenario section the check depends on (see :data:`REQUIRES`).
     requires: Optional[str] = None
+    #: Whether the check names an ``alert`` rule (alert-ledger checks).
+    needs_alert: bool = False
 
 
 #: Every check a scenario may declare.
@@ -65,6 +72,12 @@ CHECKS: Dict[str, CheckDef] = {
     "final_partition": CheckDef("final partition ==", requires="autoscale"),
     "failover_reads_min": CheckDef("failover reads >=", requires="chaos"),
     "cache_hit_ratio_min": CheckDef("cache hit ratio >=", requires="cache"),
+    "alert_fired": CheckDef(
+        "alert rule fired", needs_value=False, needs_alert=True
+    ),
+    "alert_resolved": CheckDef(
+        "alert rule fired and resolved", needs_value=False, needs_alert=True
+    ),
 }
 
 
@@ -83,6 +96,10 @@ def validate_check(
         return f"check {check.check!r} takes no 'value'"
     if check.tenant is not None and not definition.allows_tenant:
         return f"check {check.check!r} takes no 'tenant' qualifier"
+    if definition.needs_alert and check.alert is None:
+        return f"check {check.check!r} needs an 'alert' rule name"
+    if check.alert is not None and not definition.needs_alert:
+        return f"check {check.check!r} takes no 'alert' qualifier"
     missing = {
         "chaos": "a chaos section" if not has_chaos else None,
         "autoscale": "an autoscale section" if not has_autoscale else None,
@@ -119,6 +136,19 @@ def evaluate_check(
     kind = check.check
     where = f"[{check.tenant}] " if check.tenant else ""
 
+    if kind in ("alert_fired", "alert_resolved"):
+        key = "fired" if kind == "alert_fired" else "resolved"
+        names = set()
+        for scope in summary.get("telemetry", {}).get("scopes", {}).values():
+            alerts = scope.get("alerts")
+            if alerts:
+                names.update(alerts[key])
+        ok = check.alert in names
+        return (
+            f"{kind}: rule {check.alert!r}"
+            f" ({key}: {', '.join(sorted(names)) or 'none'})",
+            ok,
+        )
     if kind == "conservation":
         admitted, settled = summary["admitted"], summary["settled"]
         return (

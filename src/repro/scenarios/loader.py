@@ -576,7 +576,8 @@ def _load_checks(
                 f"unknown tenant {tenant!r}"
                 f" (declared: {', '.join(sorted(tenant_names))})",
             )
-        check = CheckSpec(check=kind, value=value, tenant=tenant)
+        alert = ld.text(entry, "alert", path)
+        check = CheckSpec(check=kind, value=value, tenant=tenant, alert=alert)
         problem = validate_check(
             check,
             has_chaos=chaos is not None,

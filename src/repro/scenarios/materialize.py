@@ -73,6 +73,14 @@ def build_scenario(
         ramp=spec.ramp,
         autoscale=spec.autoscale,
     )
+    if any(c.check in ("alert_fired", "alert_resolved") for c in spec.checks):
+        # Alert gates read the telemetry ledger, so the sampler rides
+        # along.  Sampling is non-perturbing (pinned by the telemetry
+        # replays), so every other declared check still reads numbers
+        # identical to an unsampled run.
+        from ..telemetry import TelemetryConfig
+
+        config = dataclasses.replace(config, telemetry=TelemetryConfig())
     return pfs, config
 
 

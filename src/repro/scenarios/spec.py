@@ -97,7 +97,7 @@ AUTOSCALE_KEYS = (
     "step",
     "min_samples",
 )
-CHECK_KEYS = ("check", "value", "tenant")
+CHECK_KEYS = ("check", "value", "tenant", "alert")
 
 #: Section name -> its key vocabulary (what check_docs introspects).
 SCHEMA_SECTIONS = {
@@ -139,6 +139,9 @@ class CheckSpec:
     value: Optional[float] = None
     #: Tenant row the check reads; None means the aggregate "_all" row.
     tenant: Optional[str] = None
+    #: Alert-rule name the check gates on (``alert_*`` checks only).
+    #: Declaring one auto-enables the telemetry sampler for the run.
+    alert: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -232,6 +235,8 @@ class ScenarioSpec:
                     entry["value"] = check.value
                 if check.tenant is not None:
                     entry["tenant"] = check.tenant
+                if check.alert is not None:
+                    entry["alert"] = check.alert
                 out["checks"].append(entry)
         return out
 

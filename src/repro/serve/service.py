@@ -77,6 +77,12 @@ class ServeConfig:
     #: every instrumentation site a single attribute read — the event
     #: stream is bit-identical either way.
     tracer: Optional[object] = None
+    #: Optional :class:`~repro.telemetry.TelemetryConfig` attaching a
+    #: clock-driven sampler + alert engine to the run.  ``None`` (the
+    #: default) leaves the dispatch loop's boundary check inert; with a
+    #: config the sampler only reads metrics at boundaries, so the
+    #: event stream is bit-identical either way.
+    telemetry: Optional[object] = None
 
 
 class ServeSystem:
@@ -179,6 +185,19 @@ class ServeSystem:
                 files=files,
                 duration=config.duration,
             )
+        self.telemetry = None
+        if config.telemetry is not None:
+            from ..telemetry import TelemetrySampler, default_serve_rules
+
+            self.telemetry = TelemetrySampler(self.cluster.env, config.telemetry)
+            rules = config.telemetry.rules
+            if rules is None:
+                rules = default_serve_rules()
+            self.telemetry.add_scope(
+                "serve", self.cluster.monitors, registry=self.metrics,
+                rules=rules, active_until=config.duration,
+            )
+            self.telemetry.attach()
         self._ran = False
 
     def run(self) -> Dict[str, object]:
@@ -196,6 +215,10 @@ class ServeSystem:
             workload.start(self.scheduler)
         self.cluster.run()  # to quiescence: all arrivals offered + settled
         elapsed = env.now - started
+        if self.telemetry is not None:
+            # Flush the boundaries between the last event and the end of
+            # the run from the final (now constant) state, then detach.
+            self.telemetry.finalize(env.now)
         if not self.board.conservation_ok():
             raise ServeError(
                 f"conservation violated: requests {self.board.unsettled()}"
@@ -259,4 +282,8 @@ class ServeSystem:
             # As with faults: only autoscale-configured runs carry the
             # block, so static summaries stay bit-identical.
             out["autoscale"] = autoscale_summary(monitors, self.autoscaler)
+        if self.telemetry is not None:
+            # Same pattern again: only telemetry-configured runs carry
+            # the block, so sampled-off summaries stay bit-identical.
+            out["telemetry"] = self.telemetry.summary_block()
         return out

@@ -34,6 +34,7 @@ counted; :func:`events_dispatched_total` feeds the
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from types import GeneratorType
 from typing import Any, Generator, List, Optional, Tuple
@@ -65,6 +66,25 @@ _dispatched_total = 0
 def events_dispatched_total() -> int:
     """Total events dispatched process-wide (across all environments)."""
     return _dispatched_total
+
+
+@contextmanager
+def untallied():
+    """Exclude a region's events from the process-wide dispatch tally.
+
+    Diagnostic replays (a bench cell re-run with the telemetry sampler
+    attached to prove non-perturbation) dispatch real events, but they
+    are verification overhead, not bench workload — counting them would
+    make the recorded ``events_dispatched_total`` depend on which
+    diagnostic flags were passed.  The tally is restored on exit;
+    per-environment ``dispatched`` counts are untouched, so the replay
+    itself can still be measured."""
+    global _dispatched_total
+    before = _dispatched_total
+    try:
+        yield
+    finally:
+        _dispatched_total = before
 
 
 class Process(Event):
@@ -236,6 +256,16 @@ class Environment:
         # running them.
         self._advance_hooks: List[Any] = []
         self._hooks_armed = False
+        # Telemetry boundary: when the next popped event's timestamp
+        # reaches `_telemetry_next`, `_telemetry_fire(when)` runs before
+        # the clock advances.  The callback observes state as of the
+        # boundary instant (state is constant between events, so state
+        # at boundary b equals state at b⁻) and must advance
+        # `_telemetry_next` itself.  It never creates events, so the
+        # event stream — and `events_dispatched_total` — is identical
+        # with or without a sampler attached.
+        self._telemetry_next = _INF
+        self._telemetry_fire = None
 
     # -- clock ----------------------------------------------------------------
     @property
@@ -296,6 +326,25 @@ class Environment:
         """
         self._advance_hooks.append(hook)
 
+    def set_telemetry(self, fire, first: float) -> None:
+        """Attach a telemetry boundary callback (see ``_telemetry_next``).
+
+        ``fire(when)`` is invoked from the dispatch loop the first time
+        an event at or past ``first`` is popped, before the clock
+        advances to it; the callback must move ``_telemetry_next``
+        forward (or to ``inf``) before returning.  Only one sampler can
+        be attached per environment.
+        """
+        if self._telemetry_fire is not None:
+            raise SimulationError("a telemetry sampler is already attached")
+        self._telemetry_fire = fire
+        self._telemetry_next = float(first)
+
+    def clear_telemetry(self) -> None:
+        """Detach the telemetry callback; sampling checks become inert."""
+        self._telemetry_fire = None
+        self._telemetry_next = _INF
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else _INF
@@ -311,6 +360,8 @@ class Environment:
         except IndexError:
             raise SimulationError("step(): no scheduled events") from None
 
+        if when >= self._telemetry_next:
+            self._telemetry_fire(when)
         self._now = when
         self._dispatched += 1
         global _dispatched_total
@@ -370,6 +421,8 @@ class Environment:
                 if not queue or queue[0][0] >= stop_at:
                     break
                 when, _key, event = pop(queue)
+                if when >= self._telemetry_next:
+                    self._telemetry_fire(when)
                 self._now = when
                 n += 1
                 callbacks = event.callbacks

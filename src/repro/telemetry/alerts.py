@@ -1,0 +1,375 @@
+"""Declarative alert rules evaluated on the simulated clock.
+
+Four predicate kinds, the same vocabulary production alerting stacks
+use, all reading the sampler's ring-buffer series and nothing else:
+
+* ``burn_rate`` — the multi-window SLO burn rate.  Over a window ``W``
+  ending at boundary ``t`` the burn is
+  ``(bad increase / total increase) / (1 - objective)``; the rule fires
+  only when **both** the fast and the slow window burn at or above
+  ``factor`` (the fast window catches the onset, the slow window keeps
+  a blip from paging).
+* ``threshold`` — a gauge level (or, with ``window`` set, a counter's
+  windowed rate) compared against ``value`` with ``op``.
+* ``absence`` — a counter has shown no increase for ``duration``
+  seconds (a heartbeat/stall detector).
+* ``rate_of_change`` — a gauge's slope over ``window`` seconds compared
+  against ``value`` with ``op``.
+
+On top of the predicate sits a deterministic state machine: the
+condition must hold continuously for ``for_duration`` before the alert
+**fires**, and must be continuously clear for ``clear_for`` before it
+**resolves** (hysteresis, so a flapping predicate books one incident,
+not many).  Every transition lands in an append-only ledger of
+``{rule, scope, severity, fired_at, resolved_at}`` entries — simulated
+instants, so a replay reproduces the ledger bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .series import SeriesBank
+
+__all__ = [
+    "RULE_KINDS",
+    "AlertRule",
+    "AlertEngine",
+    "default_serve_rules",
+    "default_fleet_rules",
+]
+
+RULE_KINDS = ("burn_rate", "threshold", "absence", "rate_of_change")
+
+_OPS = (">", "<")
+
+#: Slack for "held for duration" comparisons on k * interval boundaries.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule; only the fields of its ``kind`` are read."""
+
+    name: str
+    kind: str
+    severity: str = "page"
+    # burn_rate: counter series summed into the bad / total windowed rates.
+    bad: Tuple[str, ...] = ()
+    total: Tuple[str, ...] = ()
+    objective: float = 0.99
+    factor: float = 2.0
+    fast: float = 0.5
+    slow: float = 2.0
+    # threshold / rate_of_change target series and comparison.
+    series: str = ""
+    op: str = ">"
+    value: float = 0.0
+    window: float = 0.0
+    # absence: seconds without a counter increase.
+    duration: float = 1.0
+    # state-machine hold-downs.
+    for_duration: float = 0.0
+    clear_for: float = 0.5
+
+    def validate(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise SimulationError(f"rule {self.name!r}: unknown kind {self.kind!r}")
+        if self.kind == "burn_rate":
+            if not self.bad or not self.total:
+                raise SimulationError(
+                    f"rule {self.name!r}: burn_rate needs bad and total series"
+                )
+            if not 0.0 < self.objective < 1.0:
+                raise SimulationError(
+                    f"rule {self.name!r}: objective must be in (0, 1)"
+                )
+            if self.fast <= 0 or self.slow < self.fast:
+                raise SimulationError(
+                    f"rule {self.name!r}: need 0 < fast <= slow windows"
+                )
+        else:
+            if not self.series:
+                raise SimulationError(f"rule {self.name!r}: needs a series name")
+            if self.kind in ("threshold", "rate_of_change") and self.op not in _OPS:
+                raise SimulationError(f"rule {self.name!r}: unknown op {self.op!r}")
+            if self.kind == "rate_of_change" and self.window <= 0:
+                raise SimulationError(
+                    f"rule {self.name!r}: rate_of_change needs window > 0"
+                )
+            if self.kind == "absence" and self.duration <= 0:
+                raise SimulationError(
+                    f"rule {self.name!r}: absence needs duration > 0"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The artifact form: the kind's own fields plus hold-downs."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "severity": self.severity,
+            "for_duration": self.for_duration,
+            "clear_for": self.clear_for,
+        }
+        if self.kind == "burn_rate":
+            out.update(
+                bad=list(self.bad),
+                total=list(self.total),
+                objective=self.objective,
+                factor=self.factor,
+                fast=self.fast,
+                slow=self.slow,
+            )
+        elif self.kind == "absence":
+            out.update(series=self.series, duration=self.duration)
+        else:
+            out.update(series=self.series, op=self.op, value=self.value)
+            if self.window:
+                out["window"] = self.window
+        return out
+
+
+class AlertEngine:
+    """Evaluates one scope's rules at every sampling boundary."""
+
+    def __init__(
+        self,
+        scope: str,
+        rules: Tuple[AlertRule, ...],
+        bank: SeriesBank,
+        monitors=None,
+        active_until: Optional[float] = None,
+    ):
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate alert rule names in scope {scope!r}")
+        for rule in rules:
+            rule.validate()
+        self.scope = scope
+        self.rules = tuple(rules)
+        self.bank = bank
+        self.monitors = monitors
+        #: Instant after which *absence* rules stop asserting: offered
+        #: load deliberately ends at the workload horizon, so a silent
+        #: counter during the drain is quiescence, not a stall.
+        self.active_until = active_until
+        self.ledger: List[Dict[str, object]] = []
+        self._pending: Dict[str, float] = {}
+        self._clear: Dict[str, float] = {}
+        self._open: Dict[str, Dict[str, object]] = {}
+
+    # -- predicates -------------------------------------------------------------
+    def burn(self, rule: AlertRule, t: float, width: float) -> float:
+        """The burn rate over the window of ``width`` ending at ``t``."""
+        total = self.bank.window_sum(rule.total, t, width)
+        if total <= 0:
+            return 0.0
+        frac = self.bank.window_sum(rule.bad, t, width) / total
+        return frac / (1.0 - rule.objective)
+
+    def _compare(self, rule: AlertRule, value: float) -> bool:
+        return value > rule.value if rule.op == ">" else value < rule.value
+
+    def _predicate(self, rule: AlertRule, t: float) -> bool:
+        kind = rule.kind
+        if kind == "burn_rate":
+            return (
+                self.burn(rule, t, rule.fast) >= rule.factor - _EPS
+                and self.burn(rule, t, rule.slow) >= rule.factor - _EPS
+            )
+        s = self.bank.get(rule.series)
+        if kind == "absence":
+            if self.active_until is not None and t > self.active_until + _EPS:
+                return False
+            # A never-booked series counts as silent since t=0.
+            last = s.last_activity if s is not None else None
+            return t - (last if last is not None else 0.0) >= rule.duration - _EPS
+        if s is None:
+            return False
+        if kind == "threshold":
+            if rule.window > 0:
+                value = s.window_sum(t, rule.window) / rule.window
+            else:
+                point = s.last()
+                if point is None:
+                    return False
+                value = point[1]
+            return self._compare(rule, value)
+        # rate_of_change: slope of a gauge over the trailing window.
+        point = s.last()
+        then = s.at_or_before(t - rule.window)
+        if point is None or then is None:
+            return False
+        return self._compare(rule, (point[1] - then) / rule.window)
+
+    # -- the state machine ------------------------------------------------------
+    def evaluate(self, t: float) -> None:
+        fired = resolved = 0
+        for rule in self.rules:
+            active = self._predicate(rule, t)
+            entry = self._open.get(rule.name)
+            if entry is None:
+                if not active:
+                    self._pending.pop(rule.name, None)
+                    continue
+                since = self._pending.setdefault(rule.name, t)
+                if t - since >= rule.for_duration - _EPS:
+                    entry = {
+                        "rule": rule.name,
+                        "scope": self.scope,
+                        "severity": rule.severity,
+                        "fired_at": t,
+                        "resolved_at": None,
+                    }
+                    self._open[rule.name] = entry
+                    self.ledger.append(entry)
+                    self._pending.pop(rule.name, None)
+                    fired += 1
+            elif active:
+                self._clear.pop(rule.name, None)
+            else:
+                since = self._clear.setdefault(rule.name, t)
+                if t - since >= rule.clear_for - _EPS:
+                    entry["resolved_at"] = t
+                    del self._open[rule.name]
+                    self._clear.pop(rule.name, None)
+                    resolved += 1
+        if self.monitors is not None:
+            if fired:
+                self.monitors.counter("alert.fired").add(fired)
+            if resolved:
+                self.monitors.counter("alert.resolved").add(resolved)
+            self.monitors.gauge("alert.active").set(float(len(self._open)))
+
+    # -- reporting --------------------------------------------------------------
+    @property
+    def active(self) -> Tuple[str, ...]:
+        """Names of the rules firing right now (deterministic order)."""
+        return tuple(sorted(self._open))
+
+    def fired_rules(self) -> List[str]:
+        return sorted({str(e["rule"]) for e in self.ledger})
+
+    def resolved_rules(self) -> List[str]:
+        return sorted(
+            {str(e["rule"]) for e in self.ledger if e["resolved_at"] is not None}
+        )
+
+
+#: Every terminal request outcome the SLO board books.
+_OUTCOMES = ("serve.completed", "serve.late", "serve.expired", "serve.failed")
+
+
+def default_serve_rules() -> Tuple[AlertRule, ...]:
+    """The stock rule set for one serving cell.
+
+    The two burn-rate pairs implement the SRE multi-window recipe over
+    the SLO board's outcome counters: ``availability-burn`` spends the
+    1% hard-failure budget (expired + failed), ``latency-burn`` the 10%
+    deadline budget (late counts too).  The remaining rules cover the
+    other predicate kinds: an admission heartbeat, queue saturation and
+    queue growth-rate on the admission-depth gauge.
+    """
+    return (
+        AlertRule(
+            name="availability-burn",
+            kind="burn_rate",
+            severity="page",
+            bad=("serve.expired", "serve.failed"),
+            total=_OUTCOMES,
+            objective=0.99,
+            factor=2.0,
+            fast=0.5,
+            slow=2.0,
+            for_duration=0.25,
+            clear_for=0.5,
+        ),
+        AlertRule(
+            name="latency-burn",
+            kind="burn_rate",
+            severity="page",
+            bad=("serve.late", "serve.expired", "serve.failed"),
+            total=_OUTCOMES,
+            objective=0.90,
+            factor=1.0,
+            fast=0.5,
+            slow=2.0,
+            for_duration=0.25,
+            clear_for=0.5,
+        ),
+        AlertRule(
+            name="failover-surge",
+            kind="threshold",
+            severity="ticket",
+            series="faults.failover_reads",
+            op=">",
+            value=0.0,
+            window=0.5,
+            clear_for=0.25,
+        ),
+        AlertRule(
+            name="admission-stall",
+            kind="absence",
+            severity="ticket",
+            series="serve.admitted",
+            duration=1.5,
+            clear_for=0.0,
+        ),
+        AlertRule(
+            name="queue-saturated",
+            kind="threshold",
+            severity="ticket",
+            series="serve.queue.depth",
+            op=">",
+            value=10.0,
+            for_duration=0.5,
+            clear_for=0.5,
+        ),
+        AlertRule(
+            name="queue-growth",
+            kind="rate_of_change",
+            severity="ticket",
+            series="serve.queue.depth",
+            op=">",
+            value=8.0,
+            window=1.0,
+            for_duration=0.25,
+            clear_for=0.5,
+        ),
+    )
+
+
+def default_fleet_rules(n_cells: int) -> Tuple[AlertRule, ...]:
+    """The stock rule set for the fleet scope (router + controller hub)."""
+    return (
+        AlertRule(
+            name="fleet-unhealthy",
+            kind="threshold",
+            severity="page",
+            series="fleet.cells_healthy",
+            op="<",
+            value=float(n_cells),
+            for_duration=0.25,
+            clear_for=0.25,
+        ),
+        AlertRule(
+            name="fleet-spillover",
+            kind="threshold",
+            severity="ticket",
+            series="fleet.spillovers",
+            op=">",
+            value=0.0,
+            window=1.0,
+            clear_for=0.5,
+        ),
+        AlertRule(
+            name="routing-stall",
+            kind="absence",
+            severity="page",
+            series="fleet.routed",
+            duration=1.5,
+            clear_for=0.0,
+        ),
+    )

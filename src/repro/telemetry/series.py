@@ -1,0 +1,140 @@
+"""Ring-buffer time series: the sampler's in-memory storage.
+
+One :class:`Series` per metric name per scope, holding at most
+``capacity`` ``(time, value)`` points in a ring (oldest points are
+overwritten once the ring is full; ``dropped`` counts them).  Three
+kinds, matching how the sampler scrapes each metric family:
+
+* ``counter`` — the point value is the **increase** over the sampling
+  interval that ended at the point's boundary (rate = value / interval).
+  ``cumulative`` keeps the running total so windowed sums survive ring
+  wrap-around arithmetic, and ``last_activity`` records the newest
+  boundary with a positive increase (the absence-rule signal).
+* ``gauge`` — the level at the boundary instant.
+* ``quantile`` — a windowed latency statistic (p50/p99/count over the
+  histogram observations that landed inside the interval).
+
+Everything here is plain floats appended at simulated-clock boundaries,
+so a replay reproduces every point bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["KINDS", "Series", "SeriesBank"]
+
+#: The series kinds the sampler emits.
+KINDS = ("counter", "gauge", "quantile")
+
+#: Slack for float boundary comparisons (boundaries are k * interval).
+_EPS = 1e-9
+
+
+class Series:
+    """A fixed-capacity ring of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "kind", "capacity", "dropped", "cumulative",
+                 "last_activity", "_ring")
+
+    def __init__(self, name: str, kind: str, capacity: int = 512):
+        if kind not in KINDS:
+            raise SimulationError(f"unknown series kind {kind!r}")
+        if capacity < 2:
+            raise SimulationError(f"series capacity must be >= 2, got {capacity}")
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity
+        self.dropped = 0
+        self.cumulative = 0.0
+        self.last_activity: Optional[float] = None
+        self._ring: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def append(self, t: float, value: float) -> None:
+        ring = self._ring
+        if ring and t <= ring[-1][0]:
+            raise SimulationError(
+                f"series {self.name!r}: non-monotone append at t={t!r}"
+            )
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append((t, value))
+        if self.kind == "counter":
+            self.cumulative += value
+            if value > 0:
+                self.last_activity = t
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Oldest-to-newest retained points."""
+        return list(self._ring)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._ring[-1] if self._ring else None
+
+    def window(self, t: float, width: float) -> List[Tuple[float, float]]:
+        """Retained points with time in ``(t - width, t]``."""
+        lo = t - width + _EPS
+        out = [p for p in reversed(self._ring) if p[0] >= lo and p[0] <= t + _EPS]
+        out.reverse()
+        return out
+
+    def window_sum(self, t: float, width: float) -> float:
+        """Sum of point values over ``(t - width, t]`` (counter kind:
+        the total increase inside the window)."""
+        lo = t - width + _EPS
+        total = 0.0
+        for pt, pv in reversed(self._ring):
+            if pt > t + _EPS:
+                continue
+            if pt < lo:
+                break
+            total += pv
+        return total
+
+    def at_or_before(self, t: float) -> Optional[float]:
+        """Value of the newest retained point with time ``<= t``."""
+        for pt, pv in reversed(self._ring):
+            if pt <= t + _EPS:
+                return pv
+        return None
+
+
+class SeriesBank:
+    """All series of one scrape scope, keyed by metric name."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self.series: Dict[str, Series] = {}
+
+    def get(self, name: str) -> Optional[Series]:
+        return self.series.get(name)
+
+    def series_for(self, name: str, kind: str) -> Series:
+        s = self.series.get(name)
+        if s is None:
+            s = Series(name, kind, capacity=self.capacity)
+            self.series[name] = s
+        elif s.kind != kind:
+            raise SimulationError(
+                f"series {name!r} already registered as {s.kind!r}, not {kind!r}"
+            )
+        return s
+
+    def window_sum(self, names: Iterable[str], t: float, width: float) -> float:
+        """Summed windowed increase across several counter series
+        (absent series contribute 0 — the metric was never booked)."""
+        total = 0.0
+        for name in names:
+            s = self.series.get(name)
+            if s is not None:
+                total += s.window_sum(t, width)
+        return total
+
+    def __len__(self) -> int:
+        return len(self.series)

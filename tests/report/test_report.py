@@ -268,8 +268,10 @@ The measured state of the repository, rendered from its committed
 measurement record and nothing else: the [`benchmarks/`](../benchmarks)
 `BENCH_*.json` snapshots (payload schema: [BENCHMARKS.md](BENCHMARKS.md)),
 the append-only [`benchmarks/history/`](../benchmarks/history) ledger the
-regression gate keeps, and the committed critical-path attribution
-fixtures under [`benchmarks/attribution/`](../benchmarks/attribution).
+regression gate keeps, the committed critical-path attribution
+fixtures under [`benchmarks/attribution/`](../benchmarks/attribution),
+and the sampled telemetry artifacts under
+[`benchmarks/telemetry/`](../benchmarks/telemetry).
 Simulated quantities (rows, check verdicts, event counts) are exactly
 reproducible and printed as-is; host-dependent quantities (wall clocks,
 events/wall-second) appear only as ranges over the recorded history.
@@ -342,17 +344,20 @@ class TestEmit:
     def test_golden_emission(self, tmp_path):
         bench, hist, attr = _write_fixture_tree(tmp_path)
         text = generate_results(
-            bench_dir=bench, history_dir=hist, attribution_dir=attr
+            bench_dir=bench, history_dir=hist, attribution_dir=attr,
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         assert text == GOLDEN
 
     def test_two_generations_byte_identical(self, tmp_path):
         bench, hist, attr = _write_fixture_tree(tmp_path)
         first = generate_results(
-            bench_dir=bench, history_dir=hist, attribution_dir=attr
+            bench_dir=bench, history_dir=hist, attribution_dir=attr,
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         second = generate_results(
-            bench_dir=bench, history_dir=hist, attribution_dir=attr
+            bench_dir=bench, history_dir=hist, attribution_dir=attr,
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         assert first == second
 
@@ -361,7 +366,8 @@ class TestEmit:
         # the trajectory table has exactly one data row.
         bench, hist, attr = _write_fixture_tree(tmp_path)
         text = generate_results(
-            bench_dir=bench, history_dir=hist, attribution_dir=attr
+            bench_dir=bench, history_dir=hist, attribution_dir=attr,
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         trend = text.split("### serve trajectory")[1].split("##")[0]
         data_rows = [
@@ -377,9 +383,11 @@ class TestEmit:
             bench_dir=bench,
             history_dir=tmp_path / "no-hist",
             attribution_dir=tmp_path / "no-attr",
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         assert "### serve trajectory" not in text
         assert "## Where the latency goes" not in text
+        assert "## Fleet health timeline" not in text
         assert text.endswith("\n") and not text.endswith("\n\n")
 
     def test_failing_check_is_called_out(self, tmp_path):
@@ -390,7 +398,8 @@ class TestEmit:
         exp["all_checks_pass"] = False
         (bench / "BENCH_serve.json").write_text(json.dumps(payload))
         text = generate_results(
-            bench_dir=bench, history_dir=hist, attribution_dir=attr
+            bench_dir=bench, history_dir=hist, attribution_dir=attr,
+            telemetry_dir=tmp_path / "no-telemetry",
         )
         assert "✗ **1/2** shape checks pass — failing: NAS beats DAS" in text
         assert "| `BENCH_serve.json` | serve | 64 | 1 | ✗ 1/2 |" in text
@@ -436,5 +445,6 @@ class TestCommittedReport:
             bench_dir=REPO / "benchmarks",
             history_dir=REPO / "benchmarks" / "history",
             attribution_dir=REPO / "benchmarks" / "attribution",
+            telemetry_dir=REPO / "benchmarks" / "telemetry",
         )
         assert committed == regenerated

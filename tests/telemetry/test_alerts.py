@@ -1,0 +1,282 @@
+"""The alert engine's state machine, predicate by predicate.
+
+Every test drives an :class:`AlertEngine` by hand over a hand-built
+:class:`SeriesBank` at 0.25s boundaries — no simulator — so each
+assertion pins one rule semantics: multi-window burn gating, hold-down
+hysteresis, horizon-aware absence, slope thresholds.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.telemetry import (
+    AlertEngine,
+    AlertRule,
+    SeriesBank,
+    default_fleet_rules,
+    default_serve_rules,
+)
+
+INTERVAL = 0.25
+
+
+def engine_for(rules, bank=None, **kwargs):
+    # NB: an empty SeriesBank is falsy (it has __len__), so test `is None`.
+    if bank is None:
+        bank = SeriesBank()
+    return AlertEngine("cell", tuple(rules), bank, **kwargs)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError, match="unknown kind"):
+            AlertRule(name="r", kind="anomaly").validate()
+
+    def test_burn_needs_bad_and_total(self):
+        with pytest.raises(SimulationError, match="bad and total"):
+            AlertRule(name="r", kind="burn_rate", bad=("x",)).validate()
+
+    def test_burn_objective_bounds(self):
+        rule = AlertRule(
+            name="r", kind="burn_rate", bad=("b",), total=("t",), objective=1.0
+        )
+        with pytest.raises(SimulationError, match="objective"):
+            rule.validate()
+
+    def test_burn_windows_ordered(self):
+        rule = AlertRule(
+            name="r", kind="burn_rate", bad=("b",), total=("t",),
+            fast=2.0, slow=0.5,
+        )
+        with pytest.raises(SimulationError, match="fast <= slow"):
+            rule.validate()
+
+    def test_threshold_needs_series_and_known_op(self):
+        with pytest.raises(SimulationError, match="series"):
+            AlertRule(name="r", kind="threshold").validate()
+        with pytest.raises(SimulationError, match="unknown op"):
+            AlertRule(name="r", kind="threshold", series="g", op=">=").validate()
+
+    def test_rate_of_change_needs_window(self):
+        with pytest.raises(SimulationError, match="window"):
+            AlertRule(name="r", kind="rate_of_change", series="g").validate()
+
+    def test_absence_needs_duration(self):
+        with pytest.raises(SimulationError, match="duration"):
+            AlertRule(name="r", kind="absence", series="c", duration=0).validate()
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlertRule(name="r", kind="threshold", series="g")
+        with pytest.raises(SimulationError, match="duplicate"):
+            engine_for([rule, rule])
+
+    def test_stock_rule_sets_validate(self):
+        engine_for(default_serve_rules())
+        engine_for(default_fleet_rules(3))
+
+    def test_to_dict_carries_only_the_kinds_fields(self):
+        burn = default_serve_rules()[0].to_dict()
+        assert burn["kind"] == "burn_rate"
+        assert set(burn["bad"]) == {"serve.expired", "serve.failed"}
+        assert "series" not in burn
+        windowed = AlertRule(
+            name="r", kind="threshold", series="g", window=0.5
+        ).to_dict()
+        assert windowed["window"] == 0.5
+        assert "bad" not in windowed
+
+
+class TestThresholdHysteresis:
+    RULE = AlertRule(
+        name="hot", kind="threshold", severity="ticket", series="g",
+        op=">", value=5.0, for_duration=0.5, clear_for=0.5,
+    )
+
+    def drive(self, levels):
+        bank = SeriesBank()
+        engine = engine_for([self.RULE], bank)
+        g = bank.series_for("g", "gauge")
+        for i, level in enumerate(levels, 1):
+            t = i * INTERVAL
+            g.append(t, level)
+            engine.evaluate(t)
+        return engine
+
+    def test_fires_only_after_for_duration_holds(self):
+        # Hot at 0.25; must hold 0.5s -> fires at 0.75, not before.
+        engine = self.drive([10, 10, 10])
+        assert [e["fired_at"] for e in engine.ledger] == [0.75]
+        assert engine.active == ("hot",)
+
+    def test_blip_shorter_than_for_duration_never_fires(self):
+        engine = self.drive([10, 2, 10, 2, 10, 2])
+        assert engine.ledger == []
+
+    def test_resolves_only_after_clear_for_holds(self):
+        # Fires at 0.75; cool from 1.0; clear must hold 0.5s -> 1.5.
+        engine = self.drive([10, 10, 10, 2, 2, 2])
+        (entry,) = engine.ledger
+        assert entry == {
+            "rule": "hot",
+            "scope": "cell",
+            "severity": "ticket",
+            "fired_at": 0.75,
+            "resolved_at": 1.5,
+        }
+        assert engine.active == ()
+
+    def test_flapping_books_one_incident(self):
+        # Alternating hot/cool never clears for 0.5s straight: the
+        # incident stays open and the ledger holds exactly one entry.
+        rule = AlertRule(
+            name="hot", kind="threshold", series="g",
+            op=">", value=5.0, clear_for=0.5,
+        )
+        bank = SeriesBank()
+        engine = engine_for([rule], bank)
+        g = bank.series_for("g", "gauge")
+        for i, level in enumerate([10, 2, 10, 2, 10, 2, 10, 2], 1):
+            g.append(i * INTERVAL, level)
+            engine.evaluate(i * INTERVAL)
+        assert len(engine.ledger) == 1
+        assert engine.ledger[0]["resolved_at"] is None
+        assert engine.fired_rules() == ["hot"]
+        assert engine.resolved_rules() == []
+
+
+class TestBurnRate:
+    RULE = AlertRule(
+        name="burn", kind="burn_rate", bad=("bad",), total=("bad", "good"),
+        objective=0.5, factor=2.0, fast=0.5, slow=1.0,
+    )
+
+    def drive(self, ticks):
+        """ticks: per-boundary (bad, good) increases."""
+        bank = SeriesBank()
+        engine = engine_for([self.RULE], bank)
+        b = bank.series_for("bad", "counter")
+        g = bank.series_for("good", "counter")
+        for i, (bad, good) in enumerate(ticks, 1):
+            t = i * INTERVAL
+            b.append(t, float(bad))
+            g.append(t, float(good))
+            engine.evaluate(t)
+        return engine
+
+    def test_no_traffic_is_zero_burn(self):
+        engine = self.drive([(0, 0)] * 8)
+        assert engine.ledger == []
+
+    def test_slow_window_keeps_a_blip_from_firing(self):
+        # objective 0.5 -> burn = 2 * bad_fraction; factor 2 needs the
+        # fraction at 1.0 in BOTH windows.  Four good ticks, then bad:
+        # the fast (0.5s) window saturates after two bad ticks but the
+        # slow (1.0s) window still remembers good traffic, so nothing
+        # fires until the bad run is a full slow-window long.
+        engine = self.drive([(0, 1)] * 4 + [(1, 0)] * 4)
+        assert [e["fired_at"] for e in engine.ledger] == [2.0]
+
+    def test_both_windows_hot_fires_immediately_without_history(self):
+        engine = self.drive([(1, 0), (1, 0)])
+        assert [e["fired_at"] for e in engine.ledger] == [0.25]
+
+    def test_burn_value_matches_the_formula(self):
+        engine = self.drive([(1, 3)] * 4)
+        # (1 bad / 4 total) / (1 - 0.5) = 0.5 over any window.
+        assert engine.burn(self.RULE, 1.0, 1.0) == pytest.approx(0.5)
+
+
+class TestAbsence:
+    RULE = AlertRule(
+        name="stall", kind="absence", series="beats",
+        duration=0.5, clear_for=0.0,
+    )
+
+    def test_never_booked_series_is_silent_since_zero(self):
+        engine = engine_for([self.RULE])
+        engine.evaluate(0.25)
+        assert engine.ledger == []
+        engine.evaluate(0.5)
+        assert [e["fired_at"] for e in engine.ledger] == [0.5]
+
+    def test_activity_resolves_and_silence_refires(self):
+        bank = SeriesBank()
+        engine = engine_for([self.RULE], bank)
+        c = bank.series_for("beats", "counter")
+        for i in range(1, 3):  # silent 0.25, 0.5 -> fires at 0.5
+            c.append(i * INTERVAL, 0.0)
+            engine.evaluate(i * INTERVAL)
+        c.append(0.75, 2.0)  # heartbeat
+        engine.evaluate(0.75)
+        (first,) = engine.ledger
+        assert (first["fired_at"], first["resolved_at"]) == (0.5, 0.75)
+        for i in range(4, 6):  # silent again: 1.0, 1.25 -> refires
+            c.append(i * INTERVAL, 0.0)
+            engine.evaluate(i * INTERVAL)
+        assert [e["fired_at"] for e in engine.ledger] == [0.5, 1.25]
+
+    def test_active_until_silences_the_drain(self):
+        # Offered load deliberately ends at 0.5: the silence after it
+        # never reaches the duration while the rule is live, and past
+        # the horizon the predicate is off entirely.
+        bank = SeriesBank()
+        engine = engine_for([self.RULE], bank, active_until=0.5)
+        c = bank.series_for("beats", "counter")
+        c.append(0.25, 2.0)
+        for t in (0.25, 0.5, 0.75, 1.0, 1.25, 1.5):
+            engine.evaluate(t)
+        assert engine.ledger == []
+
+
+class TestRateOfChange:
+    def test_steep_slope_fires_and_plateau_resolves(self):
+        rule = AlertRule(
+            name="growth", kind="rate_of_change", series="g",
+            op=">", value=8.0, window=0.5, clear_for=0.0,
+        )
+        bank = SeriesBank()
+        engine = engine_for([rule], bank)
+        g = bank.series_for("g", "gauge")
+        for i, level in enumerate([0, 0, 6, 12, 12, 12], 1):
+            t = i * INTERVAL
+            g.append(t, float(level))
+            engine.evaluate(t)
+        # Slope over the trailing 0.5s: 12/s from 0.75 through 1.25
+        # (the window still sees the climb), flat at 1.5.
+        (entry,) = engine.ledger
+        assert (entry["fired_at"], entry["resolved_at"]) == (0.75, 1.5)
+
+    def test_too_little_history_is_inert(self):
+        rule = AlertRule(
+            name="growth", kind="rate_of_change", series="g",
+            op=">", value=1.0, window=1.0,
+        )
+        bank = SeriesBank()
+        engine = engine_for([rule], bank)
+        g = bank.series_for("g", "gauge")
+        g.append(0.25, 100.0)
+        engine.evaluate(0.25)  # nothing at t - window yet
+        assert engine.ledger == []
+
+
+class TestMetaMetrics:
+    def test_transitions_book_into_the_hub(self):
+        from repro.sim.core import Environment
+        from repro.sim.monitor import MonitorHub
+
+        hub = MonitorHub(Environment())
+        rule = AlertRule(
+            name="hot", kind="threshold", series="g",
+            op=">", value=5.0, clear_for=0.0,
+        )
+        bank = SeriesBank()
+        engine = engine_for([rule], bank, monitors=hub)
+        g = bank.series_for("g", "gauge")
+        g.append(0.25, 10.0)
+        engine.evaluate(0.25)
+        assert hub.counter("alert.fired").value == 1.0
+        assert hub.gauge("alert.active").level == 1.0
+        g.append(0.5, 0.0)
+        engine.evaluate(0.5)
+        assert hub.counter("alert.resolved").value == 1.0
+        assert hub.gauge("alert.active").level == 0.0

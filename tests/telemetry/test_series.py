@@ -1,0 +1,127 @@
+"""Ring-buffer series semantics: eviction, windows, cumulative totals.
+
+The alert engine's arithmetic rides entirely on these windows, so the
+boundary conventions are pinned here: ``window_sum(t, w)`` covers the
+half-open interval ``(t - w, t]`` — a point exactly ``w`` old falls
+out, the point at ``t`` itself counts.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.telemetry import KINDS, Series, SeriesBank
+
+
+class TestSeriesBasics:
+    def test_kinds_are_the_declared_vocabulary(self):
+        assert KINDS == ("counter", "gauge", "quantile")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown series kind"):
+            Series("x", "histogram")
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(SimulationError, match="capacity"):
+            Series("x", "gauge", capacity=1)
+
+    def test_non_monotone_append_rejected(self):
+        s = Series("x", "gauge")
+        s.append(1.0, 5.0)
+        with pytest.raises(SimulationError, match="non-monotone"):
+            s.append(1.0, 6.0)
+        with pytest.raises(SimulationError, match="non-monotone"):
+            s.append(0.5, 6.0)
+
+    def test_points_oldest_to_newest_and_last(self):
+        s = Series("x", "gauge")
+        for i in range(4):
+            s.append(float(i), float(10 * i))
+        assert s.points() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+        assert s.last() == (3.0, 30.0)
+        assert len(s) == 4
+
+    def test_empty_series_has_no_last(self):
+        s = Series("x", "counter")
+        assert s.last() is None
+        assert s.points() == []
+
+
+class TestRingEviction:
+    def test_oldest_points_evicted_and_counted(self):
+        s = Series("x", "gauge", capacity=3)
+        for i in range(5):
+            s.append(float(i), float(i))
+        assert len(s) == 3
+        assert s.dropped == 2
+        assert s.points() == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+
+    def test_cumulative_total_survives_wraparound(self):
+        s = Series("x", "counter", capacity=2)
+        for i in range(6):
+            s.append(float(i), 10.0)
+        # Only two points retained, but the running total keeps all six.
+        assert len(s) == 2
+        assert s.cumulative == 60.0
+
+    def test_last_activity_tracks_positive_increases_only(self):
+        s = Series("x", "counter")
+        assert s.last_activity is None
+        s.append(1.0, 0.0)
+        assert s.last_activity is None
+        s.append(2.0, 3.0)
+        s.append(3.0, 0.0)
+        assert s.last_activity == 2.0
+
+
+class TestWindows:
+    def make(self):
+        s = Series("x", "counter")
+        for i in range(1, 9):  # boundaries 0.25 .. 2.0
+            s.append(i * 0.25, 1.0)
+        return s
+
+    def test_window_is_half_open_trailing(self):
+        s = self.make()
+        # (1.0, 2.0]: four boundaries; the point exactly 1.0s old is out.
+        assert s.window(2.0, 1.0) == [
+            (1.25, 1.0), (1.5, 1.0), (1.75, 1.0), (2.0, 1.0)
+        ]
+        assert s.window_sum(2.0, 1.0) == 4.0
+
+    def test_window_sum_ignores_points_past_t(self):
+        s = self.make()
+        assert s.window_sum(1.0, 1.0) == 4.0  # (0, 1]: 0.25 .. 1.0
+
+    def test_window_wider_than_history_takes_everything(self):
+        s = self.make()
+        assert s.window_sum(2.0, 100.0) == 8.0
+
+    def test_at_or_before(self):
+        s = self.make()
+        assert s.at_or_before(1.1) == 1.0
+        assert s.at_or_before(0.25) == 1.0
+        assert s.at_or_before(0.1) is None
+
+
+class TestSeriesBank:
+    def test_series_for_creates_once_and_checks_kind(self):
+        bank = SeriesBank(capacity=8)
+        a = bank.series_for("serve.x", "counter")
+        assert bank.series_for("serve.x", "counter") is a
+        assert a.capacity == 8
+        with pytest.raises(SimulationError, match="already registered"):
+            bank.series_for("serve.x", "gauge")
+
+    def test_get_returns_none_for_unknown(self):
+        assert SeriesBank().get("nope") is None
+
+    def test_window_sum_across_series_skips_absent(self):
+        bank = SeriesBank()
+        s = bank.series_for("serve.failed", "counter")
+        s.append(0.25, 2.0)
+        s.append(0.5, 3.0)
+        # "serve.expired" was never booked: contributes zero, no error —
+        # the burn-rate rules rely on this for outcome counters that a
+        # healthy run never touches.
+        assert bank.window_sum(("serve.failed", "serve.expired"), 0.5, 0.5) == 5.0
+        assert len(bank) == 1
